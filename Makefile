@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bakery_demo.exe
+	dune exec examples/lattice_explore.exe
+	dune exec examples/litmus_tour.exe
+	dune exec examples/compose_models.exe
+
+clean:
+	dune clean
