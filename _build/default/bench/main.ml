@@ -1,0 +1,372 @@
+(* The benchmark harness regenerates every figure of the paper (the
+   paper is a formal framework paper — its "evaluation" is Figures 1–6
+   and the §4 containment theorems, not performance tables) and then
+   times the toolkit's kernels with bechamel.
+
+   Part 1 prints, for each figure, the same facts the paper reports:
+
+     Figure 1   SB history: TSO allows, SC forbids
+     Figure 2   PC allows, TSO forbids
+     Figure 3   PRAM allows, TSO forbids
+     Figure 4   Causal allows, TSO forbids
+     Figure 5   the containment lattice, recomputed by enumeration
+     Figure 6   the Bakery algorithm: safe on RC_sc, broken on RC_pc (§5)
+
+   Part 2 is a bechamel run with one Test.make per experiment:
+   checker latency per figure/model, lattice classification, bakery
+   exploration, machine replay, and the relation kernels they sit on. *)
+
+module H = Smem_core.History
+module Model = Smem_core.Model
+module Registry = Smem_core.Registry
+module Ltest = Smem_litmus.Test
+module Corpus = Smem_litmus.Corpus
+module Driver = Smem_machine.Driver
+module Machines = Smem_machine.Machines
+module Classify = Smem_lattice.Classify
+
+let model key =
+  match Registry.find key with Some m -> m | None -> failwith ("no model " ^ key)
+
+let machine key =
+  match Machines.find key with Some m -> m | None -> failwith ("no machine " ^ key)
+
+let verdict b = if b then "allowed" else "forbidden"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let figure_history n (test : Ltest.t) ~claims =
+  Format.printf "@.== Figure %d (%s) ==@.%a@." n test.Ltest.name H.pp
+    test.Ltest.history;
+  List.iter
+    (fun (key, expected) ->
+      let got = Model.check (model key) test.Ltest.history in
+      Format.printf "  %-8s %-9s (paper: %-9s) %s@." key (verdict got)
+        (verdict expected)
+        (if got = expected then "ok" else "<-- MISMATCH"))
+    claims
+
+let figure5 () =
+  Format.printf "@.== Figure 5 (containment lattice, recomputed) ==@.";
+  let m =
+    Classify.classify_scopes ~models:Registry.comparable Classify.standard_scopes
+  in
+  Format.printf "%a@." Classify.pp_summary m;
+  let expected =
+    [ ("causal", "pram"); ("pc", "pram"); ("sc", "tso"); ("tso", "causal"); ("tso", "pc") ]
+  in
+  let got =
+    Classify.hasse_edges m
+    |> List.map (fun (i, j) ->
+           ( (List.nth m.Classify.models i).Model.key,
+             (List.nth m.Classify.models j).Model.key ))
+    |> List.sort compare
+  in
+  Format.printf "paper's Figure 5 edges reproduced: %b@." (got = expected)
+
+let figure6 () =
+  Format.printf "@.== Figure 6 / §5 (Bakery algorithm) ==@.";
+  let test = Corpus.bakery_rcpc_violation in
+  let h = test.Ltest.history in
+  Format.printf "the §5 double-entry history:@.%a@." H.pp h;
+  List.iter
+    (fun (key, expected) ->
+      let got = Model.check (model key) h in
+      Format.printf "  %-8s checker: %-9s (paper: %-9s) %s@." key (verdict got)
+        (verdict expected)
+        (if got = expected then "ok" else "<-- MISMATCH"))
+    [ ("rc-sc", false); ("rc-pc", true) ];
+  List.iter
+    (fun (key, expected) ->
+      let m = machine key in
+      let got = Driver.reachable m (Driver.program_of_history h) h in
+      Format.printf "  %-8s machine: %-12s (expected: %-12s) %s@." key
+        (if got then "reachable" else "unreachable")
+        (if expected then "reachable" else "unreachable")
+        (if got = expected then "ok" else "<-- MISMATCH"))
+    [ ("rc-sc", false); ("rc-pc", true) ];
+  let program = Smem_lang.Programs.bakery ~n:2 () in
+  List.iter
+    (fun (key, expect_safe) ->
+      let outcome = Smem_lang.Explore.check_mutex (machine key) program in
+      let describe, ok =
+        match outcome with
+        | Smem_lang.Explore.Safe n ->
+            (Printf.sprintf "mutual exclusion holds (%d states)" n, expect_safe)
+        | Smem_lang.Explore.Violation t ->
+            (Printf.sprintf "VIOLATION (%d-step schedule)" (List.length t), not expect_safe)
+        | Smem_lang.Explore.State_limit -> ("state limit", false)
+      in
+      Format.printf "  %-8s bakery(2): %-38s %s@." key describe
+        (if ok then "ok" else "<-- MISMATCH"))
+    [ ("sc", true); ("rc-sc", true); ("rc-pc", false); ("tso", false) ]
+
+(* The corpus verdict matrix — the toolkit's equivalent of a results
+   table — and a random-scheduling series for the §5 violation. *)
+let corpus_matrix () =
+  Format.printf "@.== Corpus verdict matrix (every stated expectation checked) ==@.";
+  let models = Registry.all in
+  Smem_litmus.Runner.pp_matrix ~models Format.std_formatter Corpus.all;
+  let results = Smem_litmus.Runner.run_all ~models Corpus.all in
+  let bad = Smem_litmus.Runner.mismatches results in
+  Format.printf "%d verdicts, %d disagree with stated expectations@."
+    (List.length results) (List.length bad)
+
+let random_schedule_series () =
+  Format.printf
+    "@.== Random-schedule violation rates, bakery(2), 1000 runs per machine ==@.";
+  let program = Smem_lang.Programs.bakery ~n:2 () in
+  List.iter
+    (fun key ->
+      let rand = Random.State.make [| 2026 |] in
+      let violations = ref 0 in
+      for _ = 1 to 1000 do
+        let _, violated = Smem_lang.Explore.run_random (machine key) program ~rand in
+        if violated then incr violations
+      done;
+      Format.printf "  %-8s %4d / 1000 random schedules violate mutual exclusion@."
+        key !violations)
+    [ "sc"; "rc-sc"; "rc-pc"; "tso" ]
+
+let regenerate_figures () =
+  Format.printf
+    "====================================================================@.";
+  Format.printf
+    " Figure regeneration: paper claims vs. this implementation@.";
+  Format.printf
+    "====================================================================@.";
+  figure_history 1 Corpus.fig1_tso ~claims:[ ("tso", true); ("sc", false) ];
+  figure_history 2 Corpus.fig2_pc_not_tso ~claims:[ ("pc", true); ("tso", false) ];
+  figure_history 3 Corpus.fig3_pram_not_tso ~claims:[ ("pram", true); ("tso", false) ];
+  figure_history 4 Corpus.fig4_causal_not_tso
+    ~claims:[ ("causal", true); ("tso", false) ];
+  figure5 ();
+  figure6 ();
+  (* Reproduction finding documented in EXPERIMENTS.md. *)
+  (match Corpus.find "sb+rfi" with
+  | Some t ->
+      let h = t.Ltest.history in
+      Format.printf
+        "@.== §3.2 equivalence claim (TSO = axiomatic TSO) ==@.%a@." H.pp h;
+      Format.printf
+        "  view-based TSO: %-9s   operational TSO: %-9s  -> the claim fails \
+         on store-forwarding (see EXPERIMENTS.md)@."
+        (verdict (Smem_core.Tso.check h))
+        (verdict (Smem_core.Tso_operational.check h))
+  | None -> ());
+  corpus_matrix ();
+  random_schedule_series ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel benchmarks                                         *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let check_bench key (test : Ltest.t) =
+  let m = model key in
+  Test.make
+    ~name:(Printf.sprintf "check/%s/%s" test.Ltest.name key)
+    (Staged.stage (fun () -> ignore (Model.check m test.Ltest.history)))
+
+let reach_bench key (test : Ltest.t) =
+  let m = machine key in
+  let h = test.Ltest.history in
+  let p = Driver.program_of_history h in
+  Test.make
+    ~name:(Printf.sprintf "machine/%s/%s" test.Ltest.name key)
+    (Staged.stage (fun () -> ignore (Driver.reachable m p h)))
+
+let scaling_benches =
+  (* SC-checker latency as history size grows: 2x2, 2x3, 3x3 ops. *)
+  let history rows = H.make rows in
+  let w = H.write and r = H.read in
+  let h4 = history [ [ w "x" 1; r "y" 0 ]; [ w "y" 1; r "x" 0 ] ] in
+  let h6 =
+    history [ [ w "x" 1; r "y" 0; w "x" 2 ]; [ w "y" 1; r "x" 2; r "y" 1 ] ]
+  in
+  let h9 =
+    history
+      [
+        [ w "x" 1; r "y" 0; w "x" 2 ];
+        [ w "y" 1; r "x" 2; r "y" 1 ];
+        [ r "x" 0; w "y" 2; r "y" 2 ];
+      ]
+  in
+  List.map
+    (fun (name, h) ->
+      Test.make ~name:("scaling/sc/" ^ name)
+        (Staged.stage (fun () -> ignore (Smem_core.Sc.check h))))
+    [ ("4ops", h4); ("6ops", h6); ("9ops", h9) ]
+
+let lattice_bench =
+  Test.make ~name:"fig5/lattice/default-scope"
+    (Staged.stage (fun () ->
+         ignore
+           (Classify.classify ~models:Registry.comparable
+              Smem_lattice.Enumerate.default)))
+
+let bakery_benches =
+  List.map
+    (fun key ->
+      let m = machine key in
+      let program = Smem_lang.Programs.bakery ~n:2 () in
+      Test.make
+        ~name:(Printf.sprintf "fig6/bakery2-explore/%s" key)
+        (Staged.stage (fun () -> ignore (Smem_lang.Explore.check_mutex m program))))
+    [ "sc"; "rc-sc"; "rc-pc" ]
+
+(* Ablations for the design choices DESIGN.md calls out: what the
+   engine-B memoization buys, and what pruning the coherence
+   enumeration by per-processor program order buys. *)
+let ablation_benches =
+  (* Unsatisfiable instances force the searches to exhaust their spaces,
+     which is where memoization and pruning earn their keep. *)
+  let stress =
+    H.make
+      [
+        [
+          H.write "x" 1; H.write "y" 2; H.write "x" 3; H.write "y" 4;
+          H.write "x" 5; H.write "y" 6; H.read "x" 99;
+        ];
+        [
+          H.write "x" 11; H.write "y" 12; H.write "x" 13; H.write "y" 14;
+          H.write "x" 15; H.write "y" 16; H.read "y" 99;
+        ];
+      ]
+  in
+  let ops = H.all_ops_set stress in
+  let order = Smem_core.Orders.po stress in
+  let view_bench name memoize =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (Smem_core.View.exists ~memoize stress ~ops ~order
+                ~legality:Smem_core.View.By_value)))
+  in
+  (* SC checking with and without the program-order pruning of the
+     coherence enumeration (the unpruned variant enumerates k! orders
+     per location instead of the constrained count). *)
+  let co_stress =
+    H.make
+      [
+        [ H.write "x" 1; H.write "x" 2; H.write "x" 3; H.write "x" 4 ];
+        [ H.read "x" 4; H.read "x" 3; H.read "x" 2; H.read "x" 1 ];
+      ]
+  in
+  let sc_with_respect respect () =
+    let po = Smem_core.Orders.po co_stress in
+    let all = H.all_ops_set co_stress in
+    let empty = Smem_relation.Rel.create (H.nops co_stress) in
+    ignore
+      (Smem_core.Reads_from.iter co_stress ~f:(fun rf ->
+           Smem_core.Coherence.iter ?respect co_stress ~f:(fun co ->
+               Smem_core.Engine.check co_stress ~rf ~co ~extra:empty
+                 ~views:[ { Smem_core.Engine.proc = -1; ops = all; order = po } ]
+               <> None)))
+  in
+  [
+    view_bench "ablation/view-memoized" true;
+    view_bench "ablation/view-naive" false;
+    Test.make ~name:"ablation/co-pruned" (Staged.stage (sc_with_respect None));
+    Test.make ~name:"ablation/co-unpruned"
+      (Staged.stage (sc_with_respect (Some (fun _ _ -> false))));
+  ]
+
+let tooling_benches =
+  let fig1 = Driver.program_of_history Corpus.fig1_tso.Ltest.history in
+  [
+    Test.make ~name:"tooling/outcomes/fig1-tso"
+      (Staged.stage (fun () -> ignore (Driver.outcomes (machine "tso") fig1)));
+    Test.make ~name:"tooling/distinguish/sc-vs-tso"
+      (Staged.stage (fun () ->
+           ignore
+             (Smem_lattice.Distinguish.separating ~allow:(model "tso")
+                ~forbid:(model "sc")
+                [ Smem_lattice.Enumerate.default ])));
+  ]
+
+let kernel_benches =
+  let n = 64 in
+  let rand = Random.State.make [| 17 |] in
+  let rel = Smem_relation.Rel.create n in
+  for _ = 1 to 4 * n do
+    Smem_relation.Rel.add rel (Random.State.int rand n) (Random.State.int rand n)
+  done;
+  [
+    Test.make ~name:"kernel/closure/64"
+      (Staged.stage (fun () -> ignore (Smem_relation.Rel.transitive_closure rel)));
+    Test.make ~name:"kernel/acyclic/64"
+      (Staged.stage (fun () -> ignore (Smem_relation.Rel.acyclic rel)));
+    (let chain =
+       Smem_relation.Rel.of_pairs 8 [ (0, 1); (1, 2); (4, 5); (6, 7) ]
+     in
+     Test.make ~name:"kernel/linear-extensions/8"
+       (Staged.stage (fun () ->
+            ignore (Smem_relation.Rel.linear_extensions chain ~f:(fun _ -> false)))));
+  ]
+
+let all_benches =
+  let figure_tests =
+    List.concat
+      [
+        [ check_bench "sc" Corpus.fig1_tso; check_bench "tso" Corpus.fig1_tso ];
+        [ check_bench "tso" Corpus.fig2_pc_not_tso; check_bench "pc" Corpus.fig2_pc_not_tso ];
+        [ check_bench "tso" Corpus.fig3_pram_not_tso; check_bench "pram" Corpus.fig3_pram_not_tso ];
+        [ check_bench "tso" Corpus.fig4_causal_not_tso; check_bench "causal" Corpus.fig4_causal_not_tso ];
+        [
+          check_bench "rc-sc" Corpus.bakery_rcpc_violation;
+          check_bench "rc-pc" Corpus.bakery_rcpc_violation;
+        ];
+        [ reach_bench "tso" Corpus.fig1_tso; reach_bench "sc" Corpus.fig1_tso ];
+      ]
+  in
+  Test.make_grouped ~name:"smem" ~fmt:"%s/%s"
+    (figure_tests @ scaling_benches @ [ lattice_bench ] @ bakery_benches
+   @ ablation_benches @ tooling_benches @ kernel_benches)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_benches in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Format.printf
+    "@.====================================================================@.";
+  Format.printf " Toolkit benchmarks (bechamel, monotonic clock)@.";
+  Format.printf
+    "====================================================================@.";
+  Format.printf "%-44s %16s@." "benchmark" "time/run";
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%10.3f s " (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%10.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%10.3f us" (est /. 1e3)
+            else Printf.sprintf "%10.0f ns" est
+          in
+          Format.printf "%-44s %16s@." name pretty
+      | _ -> Format.printf "%-44s %16s@." name "n/a")
+    rows
+
+let () =
+  regenerate_figures ();
+  let results = benchmark () in
+  print_results results

@@ -1,0 +1,642 @@
+(* smem: command-line front end for the shared-memory characterization
+   toolkit.  Subcommands:
+
+     models     list the memory models
+     check      check a litmus file against models
+     corpus     run the built-in corpus (verdict matrix)
+     explain    show witness views for a corpus test or file
+     lattice    recompute the paper's Figure 5 empirically
+     mutex      explore a mutual-exclusion algorithm on a machine
+     simulate   machine reachability for a litmus test *)
+
+module Model = Smem_core.Model
+module History = Smem_core.History
+module Witness = Smem_core.Witness
+module Registry = Smem_core.Registry
+module Test = Smem_litmus.Test
+module Corpus = Smem_litmus.Corpus
+module RunnerL = Smem_litmus.Runner
+module Machines = Smem_machine.Machines
+module Driver = Smem_machine.Driver
+open Cmdliner
+
+let model_conv =
+  let parse s =
+    match Registry.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (known: %s)" s
+               (String.concat ", " (Registry.keys ()))))
+  in
+  Arg.conv (parse, fun ppf (m : Model.t) -> Format.pp_print_string ppf m.Model.key)
+
+let machine_conv =
+  let parse s =
+    match Machines.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (known: %s)" s
+               (String.concat ", " (List.map Machines.name Machines.all))))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Machines.name m))
+
+let models_arg =
+  Arg.(
+    value
+    & opt_all model_conv []
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model(s) to check against.")
+
+let resolve_models = function [] -> Registry.all | ms -> ms
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_test source =
+  match Corpus.find source with
+  | Some t -> Ok t
+  | None ->
+      if Sys.file_exists source then
+        match Smem_litmus.Parse.test_of_string (read_file source) with
+        | Ok t -> Ok t
+        | Error e -> Error (Format.asprintf "%s: %a" source Smem_litmus.Parse.pp_error e)
+      else Error (Printf.sprintf "no corpus test or file named %S" source)
+
+(* An algorithm argument is a library name (bakery, peterson, dekker,
+   naive, spinlock) or a path to a .smem program file. *)
+let load_program name ~labeled ~n =
+  match name with
+  | "bakery" -> Ok (Smem_lang.Programs.bakery ~labeled ~n ())
+  | "peterson" -> Ok (Smem_lang.Programs.peterson ~labeled ())
+  | "dekker" -> Ok (Smem_lang.Programs.dekker ~labeled ())
+  | "naive" -> Ok (Smem_lang.Programs.naive_flags ~labeled ())
+  | "spinlock" -> Ok (Smem_lang.Programs.tas_spinlock ())
+  | path when Sys.file_exists path -> (
+      match Smem_lang.Parse_prog.program_of_string (read_file path) with
+      | Ok p -> Ok p
+      | Error e ->
+          Error (Format.asprintf "%s: %a" path Smem_lang.Parse_prog.pp_error e))
+  | other ->
+      Error
+        (Printf.sprintf
+           "no algorithm or program file named %S (known: bakery, peterson,             dekker, naive, spinlock)"
+           other)
+
+(* ------------------------------------------------------------------ *)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun (m : Model.t) ->
+        Format.printf "%-12s %-34s %s@." m.Model.key m.Model.name m.Model.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the memory models.") Term.(const run $ const ())
+
+let check_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Corpus test name or litmus file.")
+  in
+  let check_one ~models test =
+    Format.printf "%s@." (Smem_litmus.Print.to_string test);
+    let results = RunnerL.run_test ~models test in
+    List.iter (fun r -> Format.printf "%a@." RunnerL.pp_result r) results;
+    List.length (RunnerL.mismatches results)
+  in
+  let run source models =
+    let models = resolve_models models in
+    if Sys.file_exists source && Sys.is_directory source then begin
+      (* Check every .litmus file in the directory. *)
+      let files =
+        Sys.readdir source |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+        |> List.sort compare
+      in
+      let mismatches = ref 0 in
+      List.iter
+        (fun file ->
+          let path = Filename.concat source file in
+          match Smem_litmus.Parse.tests_of_string (read_file path) with
+          | Error e ->
+              Format.eprintf "%s: %a@." path Smem_litmus.Parse.pp_error e;
+              incr mismatches
+          | Ok tests ->
+              List.iter
+                (fun t -> mismatches := !mismatches + check_one ~models t)
+                tests)
+        files;
+      Format.printf "@.%d file(s), %d mismatch(es)@." (List.length files)
+        !mismatches;
+      if !mismatches > 0 then exit 1
+    end
+    else
+      match load_test source with
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+      | Ok test -> if check_one ~models test > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check a litmus test — or every .litmus file in a directory —           against memory models.")
+    Term.(const run $ source $ models_arg)
+
+let corpus_cmd =
+  let run models =
+    let models = resolve_models models in
+    RunnerL.pp_matrix ~models Format.std_formatter Corpus.all;
+    let results = RunnerL.run_all ~models Corpus.all in
+    let bad = RunnerL.mismatches results in
+    Format.printf "%d verdicts, %d disagree with stated expectations@."
+      (List.length results) (List.length bad);
+    if bad <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Run the built-in litmus corpus.")
+    Term.(const run $ models_arg)
+
+let explain_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Corpus test name or litmus file.")
+  in
+  let model =
+    Arg.(
+      required
+      & opt (some model_conv) None
+      & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model to explain under.")
+  in
+  let run source (model : Model.t) =
+    match load_test source with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    | Ok test -> (
+        let h = test.Test.history in
+        Format.printf "%a@.@." History.pp h;
+        match model.Model.witness h with
+        | Some w ->
+            Format.printf "allowed by %s; witness views:@.%a@." model.Model.name
+              (Witness.pp h) w
+        | None ->
+            let rf_count, co_count = Smem_core.Diagnose.candidate_space h in
+            Format.printf
+              "forbidden by %s: no legal views exist (%d reads-from map(s) x \
+               %d coherence order(s) exhausted).@."
+              model.Model.name rf_count co_count;
+            if model.Model.key = "sc" then
+              match Smem_core.Diagnose.sc_cycle h with
+              | Some cycle ->
+                  Format.printf
+                    "under the first candidate, the constraint graph cycles:@.%a"
+                    (Smem_core.Diagnose.pp_cycle h) cycle
+              | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show witness views (or their absence) for a test.")
+    Term.(const run $ source $ model)
+
+let lattice_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz Hasse diagram.")
+  in
+  let run dot =
+    let m =
+      Smem_lattice.Classify.classify_scopes ~models:Registry.comparable
+        Smem_lattice.Classify.standard_scopes
+    in
+    if dot then print_string (Smem_lattice.Classify.to_dot m)
+    else Format.printf "%a@." Smem_lattice.Classify.pp_summary m
+  in
+  Cmd.v
+    (Cmd.info "lattice"
+       ~doc:"Recompute the containment lattice of the paper's Figure 5.")
+    Term.(const run $ dot)
+
+let mutex_cmd =
+  let alg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGORITHM"
+          ~doc:"bakery | peterson | dekker | naive | spinlock, or a .smem file.")
+  in
+  let machine =
+    Arg.(
+      required
+      & opt (some machine_conv) None
+      & info [ "machine" ] ~docv:"MACHINE" ~doc:"Machine to run on.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Processors (bakery only).") in
+  let unlabeled =
+    Arg.(
+      value & flag
+      & info [ "unlabeled" ]
+          ~doc:"Mark no operation as synchronization (ordinary accesses only).")
+  in
+  let run alg machine n unlabeled =
+    let program =
+      match load_program alg ~labeled:(not unlabeled) ~n with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+    in
+    match Smem_lang.Explore.check_mutex machine program with
+    | Smem_lang.Explore.Safe states ->
+        Format.printf "mutual exclusion HOLDS (%d states explored)@." states
+    | Smem_lang.Explore.Violation trace ->
+        Format.printf "mutual exclusion VIOLATED; schedule:@.";
+        List.iter (fun line -> Format.printf "  %s@." line) trace;
+        exit 1
+    | Smem_lang.Explore.State_limit ->
+        Format.printf "state limit reached (no violation found so far)@.";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "mutex"
+       ~doc:"Exhaustively explore a mutual-exclusion algorithm on a machine.")
+    Term.(const run $ alg $ machine $ n $ unlabeled)
+
+let distinguish_cmd =
+  let model_pos n doc =
+    Arg.(required & pos n (some model_conv) None & info [] ~docv:"MODEL" ~doc)
+  in
+  let procs =
+    Arg.(
+      value
+      & opt (list int) [ 2; 2 ]
+      & info [ "procs" ] ~docv:"N,M,..."
+          ~doc:"Operations per processor in the search scope.")
+  in
+  let nlocs = Arg.(value & opt int 2 & info [ "locs" ] ~doc:"Locations.") in
+  let maxv = Arg.(value & opt int 1 & info [ "max-value" ] ~doc:"Largest written value.") in
+  let labeled =
+    Arg.(
+      value & flag
+      & info [ "labeled" ] ~doc:"Also enumerate labeled/ordinary attributes.")
+  in
+  let standard =
+    Arg.(
+      value & flag
+      & info [ "standard-scopes" ]
+          ~doc:"Search the Figure-5 sweep instead of a single custom scope.")
+  in
+  let run (a : Model.t) (b : Model.t) procs nlocs maxv labeled standard =
+    let scopes =
+      if standard then Smem_lattice.Classify.standard_scopes
+      else
+        [ { Smem_lattice.Enumerate.procs; nlocs; max_value = maxv; labeled } ]
+    in
+    let verdict = Smem_lattice.Distinguish.compare ~a ~b scopes in
+    Format.printf "%a@." (Smem_lattice.Distinguish.pp_verdict ~a ~b) verdict
+  in
+  Cmd.v
+    (Cmd.info "distinguish"
+       ~doc:
+         "Search exhaustively for histories separating two memory models \
+          (the paper's §4 comparisons, automated).")
+    Term.(
+      const run $ model_pos 0 "First model." $ model_pos 1 "Second model."
+      $ procs $ nlocs $ maxv $ labeled $ standard)
+
+let liveness_cmd =
+  let alg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGORITHM"
+          ~doc:"bakery | peterson | dekker | naive | spinlock, or a .smem file.")
+  in
+  let machine =
+    Arg.(
+      required
+      & opt (some machine_conv) None
+      & info [ "machine" ] ~docv:"MACHINE" ~doc:"Machine to run on.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Processors (bakery only).") in
+  let unlabeled =
+    Arg.(
+      value & flag
+      & info [ "unlabeled" ] ~doc:"Mark no operation as synchronization.")
+  in
+  let run alg machine n unlabeled =
+    let program =
+      match load_program alg ~labeled:(not unlabeled) ~n with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+    in
+    match Smem_lang.Explore.check_deadlock_freedom machine program with
+    | Smem_lang.Explore.Deadlock_free states ->
+        Format.printf
+          "deadlock-free: every reachable state can terminate (%d states)@."
+          states
+    | Smem_lang.Explore.Stuck k ->
+        Format.printf "STUCK: %d reachable state(s) cannot reach termination@." k;
+        exit 1
+    | Smem_lang.Explore.Liveness_state_limit ->
+        Format.printf "state limit reached@.";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "liveness"
+       ~doc:
+         "Check deadlock freedom: from every reachable state some schedule           completes all threads (the §5 deadlock-freedom claim for the           Bakery algorithm under SC).")
+    Term.(const run $ alg $ machine $ n $ unlabeled)
+
+let races_cmd =
+  let alg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGORITHM"
+          ~doc:"bakery | peterson | dekker | naive | spinlock, or a .smem file.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Processors (bakery only).") in
+  let unlabeled =
+    Arg.(
+      value & flag
+      & info [ "unlabeled" ] ~doc:"Mark no operation as synchronization.")
+  in
+  let run alg n unlabeled =
+    let program =
+      match load_program alg ~labeled:(not unlabeled) ~n with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+    in
+    match Smem_lang.Races.find_race program with
+    | Smem_lang.Races.Race_free states ->
+        Format.printf
+          "race-free over all SC executions (%d states): properly labeled@."
+          states
+    | Smem_lang.Races.Race (a, b) ->
+        Format.printf "DATA RACE: %a concurrent with %a@."
+          Smem_lang.Races.pp_access a Smem_lang.Races.pp_access b;
+        exit 1
+    | Smem_lang.Races.State_limit ->
+        Format.printf "state limit reached@.";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Detect data races over the SC executions of an algorithm (the           properly-labeled condition of the paper).")
+    Term.(const run $ alg $ n $ unlabeled)
+
+let simulate_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Corpus test name or litmus file.")
+  in
+  let machine =
+    Arg.(
+      required
+      & opt (some machine_conv) None
+      & info [ "machine" ] ~docv:"MACHINE" ~doc:"Machine to replay on.")
+  in
+  let run source machine =
+    match load_test source with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    | Ok test ->
+        let h = test.Test.history in
+        let program = Driver.program_of_history h in
+        let ok = Driver.reachable machine program h in
+        Format.printf "%a@.@." History.pp h;
+        Format.printf "%s on the %s machine@."
+          (if ok then "REACHABLE" else "unreachable")
+          (Machines.name machine);
+        if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Decide whether a machine can exhibit a litmus history.")
+    Term.(const run $ source $ machine)
+
+let custom_cmd =
+  let module B = Smem_core.Build in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Corpus test name or litmus file.")
+  in
+  let conv_of parse =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (parse s)),
+        fun ppf _ -> Format.pp_print_string ppf "<param>" )
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt (conv_of B.parse_operations) `Writes_of_others
+      & info [ "ops" ] ~docv:"SET" ~doc:"View population: all | writes.")
+  in
+  let mutual_arg =
+    Arg.(
+      value
+      & opt (conv_of B.parse_mutual) `No_agreement
+      & info [ "mutual" ] ~docv:"REQ"
+          ~doc:"Mutual consistency: none | coherence | global-writes | total.")
+  in
+  let order_arg =
+    Arg.(
+      value
+      & opt_all (conv_of B.parse_ordering) []
+      & info [ "order" ] ~docv:"ORD"
+          ~doc:
+            "Ordering requirement (repeatable; union): po | ppo | po-loc |              own-po | causal | semi-causal.")
+  in
+  let run source operations mutual orderings =
+    let orderings = match orderings with [] -> [ `Po ] | os -> os in
+    let model =
+      try
+        B.make ~key:"custom" ~name:"Custom Model" ~operations ~mutual ~orderings
+          ()
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    in
+    match load_test source with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    | Ok test -> (
+        let h = test.Test.history in
+        Format.printf "%a@.@.%s@." History.pp h model.Model.description;
+        match model.Model.witness h with
+        | Some w ->
+            Format.printf "allowed; witness views:@.%a@." (Witness.pp h) w
+        | None -> Format.printf "forbidden: no legal views exist.@.")
+  in
+  Cmd.v
+    (Cmd.info "custom"
+       ~doc:
+         "Check a test against a model composed from the paper's three           parameters (§2): view population, mutual consistency, ordering.")
+    Term.(const run $ source $ ops_arg $ mutual_arg $ order_arg)
+
+let outcomes_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Corpus test name or litmus file.")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt_all machine_conv []
+      & info [ "machine" ] ~docv:"MACHINE"
+          ~doc:"Machine(s) to enumerate (default: all).")
+  in
+  let run source machines =
+    match load_test source with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    | Ok test ->
+        let h = test.Test.history in
+        let program = Driver.program_of_history h in
+        let machines = match machines with [] -> Machines.all | ms -> ms in
+        Format.printf "%a@.@." History.pp h;
+        Format.printf
+          "read-value outcomes (reads in processor-major order):@.";
+        List.iter
+          (fun m ->
+            let outcomes = Driver.outcomes m program in
+            Format.printf "  %-8s %d outcome(s): %s@." (Machines.name m)
+              (List.length outcomes)
+              (String.concat " "
+                 (List.map
+                    (fun o ->
+                      "(" ^ String.concat "," (List.map string_of_int o) ^ ")")
+                    outcomes)))
+          machines
+  in
+  Cmd.v
+    (Cmd.info "outcomes"
+       ~doc:
+         "Enumerate every read-value outcome each machine can produce for a           litmus test's program skeleton.")
+    Term.(const run $ source $ machines_arg)
+
+let generate_cmd =
+  let count =
+    Arg.(value & opt int 10 & info [ "count" ] ~doc:"Tests to generate.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let procs =
+    Arg.(
+      value
+      & opt (list int) [ 2; 2 ]
+      & info [ "procs" ] ~docv:"N,M,..." ~doc:"Operations per processor.")
+  in
+  let nlocs = Arg.(value & opt int 2 & info [ "locs" ] ~doc:"Locations.") in
+  let maxv =
+    Arg.(value & opt int 1 & info [ "max-value" ] ~doc:"Largest written value.")
+  in
+  let labeled =
+    Arg.(value & flag & info [ "labeled" ] ~doc:"Randomize labeled/ordinary attributes.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Write one .litmus file per test there.")
+  in
+  let run count seed procs nlocs maxv labeled models out =
+    let models = resolve_models models in
+    let rand = Random.State.make [| seed |] in
+    let loc_names = [| "x"; "y"; "z"; "u"; "v"; "w" |] in
+    if nlocs > Array.length loc_names then begin
+      Format.eprintf "error: at most %d locations@." (Array.length loc_names);
+      exit 2
+    end;
+    let random_event () =
+      let loc = loc_names.(Random.State.int rand nlocs) in
+      let labeled = labeled && Random.State.bool rand in
+      if Random.State.bool rand then
+        History.write ~labeled loc (1 + Random.State.int rand maxv)
+      else History.read ~labeled loc (Random.State.int rand (maxv + 1))
+    in
+    (match out with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    for i = 1 to count do
+      let rows = List.map (fun n -> List.init n (fun _ -> random_event ())) procs in
+      let h = History.make rows in
+      let expect =
+        List.map
+          (fun (m : Model.t) ->
+            ( m.Model.key,
+              Smem_litmus.Test.verdict_of_bool (Model.check m h) ))
+          models
+      in
+      let name = Printf.sprintf "gen%03d" i in
+      let test =
+        {
+          Test.name;
+          doc = Printf.sprintf "generated (seed %d)" seed;
+          history = h;
+          expectations = expect;
+        }
+      in
+      let text = Smem_litmus.Print.to_string test in
+      match out with
+      | None -> print_string (text ^ "\n")
+      | Some dir ->
+          let path = Filename.concat dir (name ^ ".litmus") in
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Format.printf "wrote %s@." path
+    done
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate random litmus tests with verdicts computed by the           checkers (for corpus building and cross-tool fuzzing).")
+    Term.(const run $ count $ seed $ procs $ nlocs $ maxv $ labeled $ models_arg $ out)
+
+let () =
+  let info =
+    Cmd.info "smem" ~version:"1.0.0"
+      ~doc:"A characterization of scalable shared memories (Kohli, Neiger, Ahamad 1993)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            models_cmd;
+            check_cmd;
+            corpus_cmd;
+            explain_cmd;
+            lattice_cmd;
+            distinguish_cmd;
+            mutex_cmd;
+            liveness_cmd;
+            races_cmd;
+            simulate_cmd;
+            outcomes_cmd;
+            custom_cmd;
+            generate_cmd;
+          ]))

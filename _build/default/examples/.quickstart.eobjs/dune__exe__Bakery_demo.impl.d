@@ -1,0 +1,1 @@
+examples/bakery_demo.ml: Format List Smem_core Smem_lang Smem_litmus Smem_machine

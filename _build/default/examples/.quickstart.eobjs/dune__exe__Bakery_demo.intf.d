@@ -1,0 +1,1 @@
+examples/bakery_demo.mli:

@@ -1,0 +1,1 @@
+examples/compose_models.ml: Format List Smem_core Smem_lattice

@@ -1,0 +1,1 @@
+examples/lattice_explore.ml: Format List Smem_core Smem_lattice String

@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Format List Smem_core Smem_litmus Smem_machine

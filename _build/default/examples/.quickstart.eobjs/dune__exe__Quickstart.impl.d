@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Smem_core Smem_litmus

@@ -1,0 +1,88 @@
+(* The paper's §5 result, three ways:
+
+   1. axiomatically — the §5 subhistories are allowed by the RC_pc
+      checker and forbidden by the RC_sc checker;
+   2. operationally — the same history is reachable on the RC_pc
+      machine and unreachable on the RC_sc machine;
+   3. at the program level — exhaustive exploration of the actual
+      Bakery algorithm finds a mutual-exclusion violation on the RC_pc
+      machine and proves safety on the RC_sc machine.
+
+   Run with: dune exec examples/bakery_demo.exe *)
+
+module H = Smem_core.History
+module Model = Smem_core.Model
+module Test = Smem_litmus.Test
+module Driver = Smem_machine.Driver
+
+let model key =
+  match Smem_core.Registry.find key with Some m -> m | None -> assert false
+
+let machine key =
+  match Smem_machine.Machines.find key with Some m -> m | None -> assert false
+
+let () =
+  let test = Smem_litmus.Corpus.bakery_rcpc_violation in
+  let h = test.Test.history in
+  Format.printf "== 1. The §5 history ==@.%a@.@." H.pp h;
+
+  let axiomatic key =
+    Format.printf "  %-6s checker: %s@." key
+      (if Model.check (model key) h then "ALLOWED" else "forbidden")
+  in
+  axiomatic "rc-sc";
+  axiomatic "rc-pc";
+
+  Format.printf "@.== 2. Machine reachability ==@.";
+  let operational key =
+    let m = machine key in
+    let ok = Driver.reachable m (Driver.program_of_history h) h in
+    Format.printf "  %-6s machine: %s@." key
+      (if ok then "REACHABLE" else "unreachable")
+  in
+  operational "rc-sc";
+  operational "rc-pc";
+
+  Format.printf "@.== 3. Running the Bakery algorithm itself (n = 2) ==@.";
+  let program = Smem_lang.Programs.bakery ~n:2 () in
+  let explore key =
+    match Smem_lang.Explore.check_mutex (machine key) program with
+    | Smem_lang.Explore.Safe states ->
+        Format.printf "  %-6s machine: mutual exclusion HOLDS (%d states)@." key
+          states
+    | Smem_lang.Explore.Violation trace ->
+        Format.printf "  %-6s machine: VIOLATION after schedule:@." key;
+        List.iter (fun line -> Format.printf "      %s@." line) trace
+    | Smem_lang.Explore.State_limit ->
+        Format.printf "  %-6s machine: state limit hit@." key
+  in
+  explore "rc-sc";
+  explore "rc-pc";
+
+  (* TSO breaks it too — the Bakery algorithm genuinely needs SC-strength
+     synchronization operations. *)
+  Format.printf "@.== Bonus: other machines ==@.";
+  explore "sc";
+  explore "tso";
+
+  (* The converse lesson, via footnote 4 of the paper: read-modify-write
+     synchronization is immune to the weakness — a test-and-set spinlock
+     is safe even where the Bakery algorithm breaks. *)
+  Format.printf "@.== Contrast: a test-and-set spinlock (paper footnote 4) ==@.";
+  let spinlock = Smem_lang.Programs.tas_spinlock () in
+  List.iter
+    (fun key ->
+      match Smem_lang.Explore.check_mutex (machine key) spinlock with
+      | Smem_lang.Explore.Safe states ->
+          Format.printf "  %-6s machine: spinlock SAFE (%d states)@." key states
+      | Smem_lang.Explore.Violation _ ->
+          Format.printf "  %-6s machine: spinlock VIOLATED (unexpected!)@." key
+      | Smem_lang.Explore.State_limit ->
+          Format.printf "  %-6s machine: state limit@." key)
+    [ "tso"; "rc-pc"; "pram" ];
+
+  Format.printf
+    "@.Conclusion (paper §5): the Bakery algorithm is correct under RC_sc \
+     but fails under RC_pc — the two DASH consistency levels differ for \
+     programs that coordinate with reads and writes.  Atomic \
+     read-modify-write operations (footnote 4) sidestep the difference.@."

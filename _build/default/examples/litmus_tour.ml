@@ -1,0 +1,35 @@
+(* A tour of the litmus corpus: the axiomatic verdict matrix side by
+   side with operational reachability on the machines.
+
+   Run with: dune exec examples/litmus_tour.exe *)
+
+module Test = Smem_litmus.Test
+module Driver = Smem_machine.Driver
+module Machines = Smem_machine.Machines
+
+let () =
+  let models = Smem_core.Registry.all in
+  Format.printf "== Axiomatic verdicts (checker per model) ==@.";
+  Smem_litmus.Runner.pp_matrix ~models Format.std_formatter
+    Smem_litmus.Corpus.all;
+
+  Format.printf "@.== Operational reachability (machine replay) ==@.";
+  let machines = Machines.all in
+  Format.printf "%-16s" "test";
+  List.iter (fun m -> Format.printf " %-8s" (Machines.name m)) machines;
+  Format.printf "@.";
+  List.iter
+    (fun (test : Test.t) ->
+      let h = test.Test.history in
+      let program = Driver.program_of_history h in
+      Format.printf "%-16s" test.Test.name;
+      List.iter
+        (fun m ->
+          Format.printf " %-8s"
+            (if Driver.reachable m program h then "yes" else "no"))
+        machines;
+      Format.printf "@.")
+    Smem_litmus.Corpus.all;
+  Format.printf
+    "@.Every machine 'yes' must be an axiomatic 'yes' for the machine's \
+     model — the soundness the property tests check at scale.@."

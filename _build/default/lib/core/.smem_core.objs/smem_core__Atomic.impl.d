@@ -1,0 +1,1 @@
+lib/core/atomic.ml: Coherence Engine History Model Option Orders Reads_from Smem_relation

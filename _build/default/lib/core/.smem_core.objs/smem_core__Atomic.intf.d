@@ -1,0 +1,1 @@
+lib/core/atomic.mli: History Model Witness

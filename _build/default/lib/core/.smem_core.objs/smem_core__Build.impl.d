@@ -1,0 +1,1 @@
+lib/core/build.ml: Array Coherence Engine History List Model Op Option Orders Printf Reads_from Smem_relation String View Witness

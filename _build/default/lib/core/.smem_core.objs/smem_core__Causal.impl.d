@@ -1,0 +1,1 @@
+lib/core/causal.ml: Format History List Model Option Orders Reads_from Smem_relation View Witness

@@ -1,0 +1,1 @@
+lib/core/causal.mli: History Model Witness

@@ -1,0 +1,1 @@
+lib/core/causal_coherent.mli: History Model Witness

@@ -1,0 +1,1 @@
+lib/core/coherence.ml: Array Format History List Op Smem_relation

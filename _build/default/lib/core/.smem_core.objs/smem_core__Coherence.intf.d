@@ -1,0 +1,1 @@
+lib/core/coherence.mli: Format History Smem_relation

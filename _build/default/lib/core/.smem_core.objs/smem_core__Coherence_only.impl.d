@@ -1,0 +1,1 @@
+lib/core/coherence_only.ml: Array Coherence Engine History List Model Op Option Orders Reads_from Smem_relation Witness

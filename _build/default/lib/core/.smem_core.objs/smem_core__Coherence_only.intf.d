@@ -1,0 +1,1 @@
+lib/core/coherence_only.mli: History Model Witness

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Coherence Engine Format History List Op Orders Reads_from Smem_relation

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Coherence Format History List Op Reads_from Smem_relation String Witness

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Coherence History Reads_from Smem_relation Witness

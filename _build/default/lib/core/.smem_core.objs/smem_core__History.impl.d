@@ -1,0 +1,1 @@
+lib/core/history.ml: Array Format Fun Hashtbl List Op Option Smem_relation

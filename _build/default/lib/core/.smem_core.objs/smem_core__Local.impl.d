@@ -1,0 +1,1 @@
+lib/core/local.ml: History List Model Option Orders View Witness

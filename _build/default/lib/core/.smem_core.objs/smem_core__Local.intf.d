@@ -1,0 +1,1 @@
+lib/core/local.mli: History Model Witness

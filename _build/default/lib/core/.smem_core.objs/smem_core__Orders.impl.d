@@ -1,0 +1,1 @@
+lib/core/orders.ml: Array Coherence History List Op Reads_from Smem_relation

@@ -1,0 +1,1 @@
+lib/core/orders.mli: Coherence History Reads_from Smem_relation

@@ -1,0 +1,1 @@
+lib/core/pc.ml: Coherence Engine History List Model Option Orders Reads_from Smem_relation

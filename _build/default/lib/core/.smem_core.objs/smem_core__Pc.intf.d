@@ -1,0 +1,1 @@
+lib/core/pc.mli: History Model Witness

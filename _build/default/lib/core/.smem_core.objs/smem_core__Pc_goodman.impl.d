@@ -1,0 +1,1 @@
+lib/core/pc_goodman.ml: Coherence History List Model Option Orders Smem_relation View Witness

@@ -1,0 +1,1 @@
+lib/core/pc_goodman.mli: History Model Witness

@@ -1,0 +1,1 @@
+lib/core/pram.ml: History List Model Option Orders View Witness

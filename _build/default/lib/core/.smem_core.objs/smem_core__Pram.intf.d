@@ -1,0 +1,1 @@
+lib/core/pram.mli: History Model Witness

@@ -1,0 +1,1 @@
+lib/core/rc.mli: History Model Witness

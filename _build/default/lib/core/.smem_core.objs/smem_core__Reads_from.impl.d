@@ -1,0 +1,1 @@
+lib/core/reads_from.ml: Array Format History List Op Smem_relation

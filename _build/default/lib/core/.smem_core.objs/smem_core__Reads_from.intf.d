@@ -1,0 +1,1 @@
+lib/core/reads_from.mli: Format History Smem_relation

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Atomic Causal Causal_coherent Coherence_only List Local Model Pc Pc_goodman Pram Rc Sc Slow Tso Tso_operational Weak_ordering

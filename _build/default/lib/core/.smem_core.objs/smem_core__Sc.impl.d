@@ -1,0 +1,1 @@
+lib/core/sc.ml: Coherence Engine History Model Option Orders Reads_from Smem_relation

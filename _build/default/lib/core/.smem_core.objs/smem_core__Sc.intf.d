@@ -1,0 +1,1 @@
+lib/core/sc.mli: History Model Witness

@@ -1,0 +1,1 @@
+lib/core/slow.ml: History List Model Option Orders Smem_relation View Witness

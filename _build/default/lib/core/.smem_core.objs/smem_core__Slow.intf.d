@@ -1,0 +1,1 @@
+lib/core/slow.mli: History Model Witness

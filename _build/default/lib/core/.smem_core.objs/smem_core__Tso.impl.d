@@ -1,0 +1,1 @@
+lib/core/tso.ml: Array Coherence Engine Format History List Model Op Option Orders Reads_from Smem_relation Witness

@@ -1,0 +1,1 @@
+lib/core/tso_operational.ml: Array Fun Hashtbl History List Model Op Witness

@@ -1,0 +1,1 @@
+lib/core/tso_operational.mli: History Model

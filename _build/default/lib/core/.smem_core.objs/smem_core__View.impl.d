@@ -1,0 +1,1 @@
+lib/core/view.ml: Array Hashtbl History Op Option Reads_from Smem_relation Sys

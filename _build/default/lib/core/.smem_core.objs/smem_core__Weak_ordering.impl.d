@@ -1,0 +1,1 @@
+lib/core/weak_ordering.ml: Array Format History List Model Op Option Orders Smem_relation View Witness

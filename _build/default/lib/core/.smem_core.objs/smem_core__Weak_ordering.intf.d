@@ -1,0 +1,1 @@
+lib/core/weak_ordering.mli: History Model Witness

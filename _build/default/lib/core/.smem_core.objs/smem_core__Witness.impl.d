@@ -1,0 +1,1 @@
+lib/core/witness.ml: Format History List

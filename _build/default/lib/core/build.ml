@@ -1,0 +1,176 @@
+module Bitset = Smem_relation.Bitset
+module Rel = Smem_relation.Rel
+module Perm = Smem_relation.Perm
+
+type operations = [ `All_ops | `Writes_of_others ]
+
+type mutual =
+  [ `No_agreement | `Coherence | `Global_write_order | `Total_agreement ]
+
+type ordering = [ `Po | `Ppo | `Po_loc | `Own_po | `Causal | `Semi_causal ]
+
+let needs_rf orderings =
+  List.exists (fun o -> o = `Causal || o = `Semi_causal) orderings
+
+(* Resolve the ordering union for one processor's view, given the
+   enumeration witnesses in scope. *)
+let resolve_order h ~orderings ~proc ~rf ~co =
+  let nops = History.nops h in
+  let acc = Rel.create nops in
+  List.iter
+    (fun o ->
+      let rel =
+        match o with
+        | `Po -> Orders.po h
+        | `Ppo -> Orders.ppo h
+        | `Po_loc -> Orders.po_loc h
+        | `Own_po -> Orders.po_of_proc h proc
+        | `Causal -> Orders.causal h ~rf:(Option.get rf)
+        | `Semi_causal -> Orders.sem h ~rf:(Option.get rf) ~co:(Option.get co)
+      in
+      Rel.union_into ~into:acc rel)
+    orderings;
+  acc
+
+let view_ops h operations proc =
+  match operations with
+  | `All_ops -> History.all_ops_set h
+  | `Writes_of_others -> History.view_ops_writes h proc
+
+let write_po h w1 w2 =
+  let o1 = History.op h w1 and o2 = History.op h w2 in
+  Op.same_proc o1 o2 && o1.Op.index < o2.Op.index
+
+let chain_rel nops order =
+  let rel = Rel.create nops in
+  for i = 0 to Array.length order - 2 do
+    Rel.add rel order.(i) order.(i + 1)
+  done;
+  rel
+
+let witness ~operations ~mutual ~orderings h =
+  let nops = History.nops h in
+  let nprocs = History.nprocs h in
+  let found = ref None in
+  let engine_a ~rf ~co ~extra =
+    let views =
+      match mutual with
+      | `Total_agreement ->
+          [
+            {
+              Engine.proc = -1;
+              ops = History.all_ops_set h;
+              order = resolve_order h ~orderings ~proc:(-1) ~rf:(Some rf) ~co:(Some co);
+            };
+          ]
+      | _ ->
+          List.init nprocs (fun p ->
+              {
+                Engine.proc = p;
+                ops = view_ops h operations p;
+                order =
+                  resolve_order h ~orderings ~proc:p ~rf:(Some rf) ~co:(Some co);
+              })
+    in
+    match Engine.check h ~rf ~co ~extra ~views with
+    | Some w ->
+        found := Some w;
+        true
+    | None -> false
+  in
+  let _ : bool =
+    match mutual with
+    | `No_agreement ->
+        (* Independent views: engine B, with reads-from enumeration only
+           when an ordering needs it. *)
+        let attempt rf =
+          let rec go p acc =
+            if p = nprocs then begin
+              found := Some (Witness.per_proc (List.rev acc) ~notes:[]);
+              true
+            end
+            else
+              let order = resolve_order h ~orderings ~proc:p ~rf ~co:None in
+              if not (Rel.acyclic order) then false
+              else
+                match
+                  View.exists h ~ops:(view_ops h operations p) ~order
+                    ~legality:View.By_value
+                with
+                | None -> false
+                | Some seq -> go (p + 1) ((p, seq) :: acc)
+          in
+          go 0 []
+        in
+        if needs_rf orderings then Reads_from.iter h ~f:(fun rf -> attempt (Some rf))
+        else attempt None
+    | `Coherence | `Total_agreement ->
+        Reads_from.iter h ~f:(fun rf ->
+            Coherence.iter h ~f:(fun co ->
+                engine_a ~rf ~co ~extra:(Rel.create nops)))
+    | `Global_write_order ->
+        let writes = Array.of_list (History.writes h) in
+        Reads_from.iter h ~f:(fun rf ->
+            Perm.iter_constrained writes ~precedes:(write_po h) ~f:(fun worder ->
+                let co = Coherence.of_write_order h worder in
+                engine_a ~rf ~co ~extra:(chain_rel nops worder)))
+  in
+  !found
+
+let make ~key ~name ?description ~operations ~mutual ~orderings () =
+  if mutual = `Total_agreement && operations <> `All_ops then
+    invalid_arg "Build.make: total agreement requires all operations in views";
+  if List.mem `Semi_causal orderings && mutual = `No_agreement then
+    invalid_arg "Build.make: semi-causality needs a coherence witness";
+  let description =
+    match description with
+    | Some d -> d
+    | None ->
+        Printf.sprintf "composed model: operations=%s, mutual=%s, ordering=%s"
+          (match operations with `All_ops -> "all" | `Writes_of_others -> "writes")
+          (match mutual with
+          | `No_agreement -> "none"
+          | `Coherence -> "coherence"
+          | `Global_write_order -> "global-writes"
+          | `Total_agreement -> "total")
+          (String.concat "+"
+             (List.map
+                (function
+                  | `Po -> "po"
+                  | `Ppo -> "ppo"
+                  | `Po_loc -> "po-loc"
+                  | `Own_po -> "own-po"
+                  | `Causal -> "causal"
+                  | `Semi_causal -> "semi-causal")
+                orderings))
+  in
+  Model.make ~key ~name ~description (witness ~operations ~mutual ~orderings)
+
+let parse_operations = function
+  | "all" -> Ok `All_ops
+  | "writes" -> Ok `Writes_of_others
+  | s -> Error (Printf.sprintf "unknown operation set %S (all | writes)" s)
+
+let parse_mutual = function
+  | "none" -> Ok `No_agreement
+  | "coherence" -> Ok `Coherence
+  | "global-writes" -> Ok `Global_write_order
+  | "total" -> Ok `Total_agreement
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown mutual consistency %S (none | coherence | global-writes | total)"
+           s)
+
+let parse_ordering = function
+  | "po" -> Ok `Po
+  | "ppo" -> Ok `Ppo
+  | "po-loc" -> Ok `Po_loc
+  | "own-po" -> Ok `Own_po
+  | "causal" -> Ok `Causal
+  | "semi-causal" -> Ok `Semi_causal
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown ordering %S (po | ppo | po-loc | own-po | causal | semi-causal)"
+           s)

@@ -1,0 +1,9 @@
+(** Coherent causal memory — the "new memory" sketched in the paper's
+    concluding remarks (§7): causal memory augmented with coherence as a
+    mutual-consistency requirement.  Views respect the causal order
+    {e and} a per-location write serialization shared by all
+    processors. *)
+
+val witness : History.t -> Witness.t option
+val check : History.t -> bool
+val model : Model.t

@@ -1,0 +1,45 @@
+(** Coherence orders: per-location total orders on writes.
+
+    Coherence is the paper's canonical mutual-consistency requirement
+    (§2, parameter 2): all writes to a given location appear in the same
+    order in every processor view.  The checkers existentially quantify
+    over coherence orders; this module enumerates them, pruned by any
+    relation the order must already respect (by default each processor's
+    program order on its own writes to the location — any coherence
+    order violating it would make every view cyclic, since views also
+    respect at least that much of program order). *)
+
+type t
+
+val position : t -> int -> int
+(** [position co w] is [w]'s rank in the coherence order of its
+    location (0-based).  [w] must be a write. *)
+
+val precedes : t -> int -> int -> bool
+(** [precedes co w1 w2] — both writes, same location, [w1] strictly
+    before [w2]. *)
+
+val writes_in_order : t -> int -> int array
+(** [writes_in_order co loc] — the writes to [loc] in coherence order. *)
+
+val to_rel : t -> Smem_relation.Rel.t
+(** All [(w1, w2)] pairs with [w1] coherence-before [w2]. *)
+
+val successors_from : t -> int -> int list
+(** [successors_from co w] — the writes strictly after [w] in its
+    location's coherence order. *)
+
+val of_write_order : History.t -> int array -> t
+(** [of_write_order h ws] builds the coherence order induced by a total
+    order [ws] on {e all} writes of the history (used by the TSO
+    checker, whose mutual-consistency witness is a single global write
+    serialization). *)
+
+val iter :
+  ?respect:(int -> int -> bool) -> History.t -> f:(t -> bool) -> bool
+(** Enumerate coherence orders as the product of per-location
+    constrained permutations.  [respect w1 w2] forces [w1] before [w2]
+    (default: same-processor program order per location).  Early-exit
+    protocol: returns [true] as soon as [f] accepts. *)
+
+val pp : History.t -> Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+module Rel = Smem_relation.Rel
+
+type edge_kind = Program_order | Reads_from | From_read | Coherence_order
+
+let pp_edge_kind ppf = function
+  | Program_order -> Format.pp_print_string ppf "po"
+  | Reads_from -> Format.pp_print_string ppf "rf"
+  | From_read -> Format.pp_print_string ppf "fr"
+  | Coherence_order -> Format.pp_print_string ppf "co"
+
+type cycle = { ops : int list; edges : (int * edge_kind * int) list }
+
+let candidate_space h =
+  let rf_count =
+    List.fold_left
+      (fun acc r -> acc * List.length (Reads_from.candidates h r))
+      1 (History.reads h)
+  in
+  let co_count = ref 0 in
+  ignore (Coherence.iter h ~f:(fun _ -> incr co_count; false));
+  (rf_count, !co_count)
+
+let first_candidate h =
+  let result = ref None in
+  ignore
+    (Reads_from.iter h ~f:(fun rf ->
+         Coherence.iter h ~f:(fun co ->
+             result := Some (rf, co);
+             true)));
+  !result
+
+let sc_cycle h =
+  match first_candidate h with
+  | None -> None
+  | Some (rf, co) -> (
+      let po = Orders.po h in
+      let rf_rel = Engine.rf_edges h ~rf in
+      let fr_rel = Engine.fr_edges h ~rf ~co in
+      let co_rel = Coherence.to_rel co in
+      let graph = Rel.union (Rel.union po rf_rel) (Rel.union fr_rel co_rel) in
+      match Rel.find_cycle graph with
+      | None -> None
+      | Some ops ->
+          let arr = Array.of_list ops in
+          let n = Array.length arr in
+          let kind_of a b =
+            if Rel.mem po a b then Program_order
+            else if Rel.mem rf_rel a b then Reads_from
+            else if Rel.mem fr_rel a b then From_read
+            else Coherence_order
+          in
+          let edges =
+            List.init n (fun i ->
+                let a = arr.(i) and b = arr.((i + 1) mod n) in
+                (a, kind_of a b, b))
+          in
+          Some { ops; edges })
+
+let pp_cycle h ppf { ops = _; edges } =
+  let loc_name l = History.loc_name h l in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (a, kind, b) ->
+      Format.fprintf ppf "%a --%a--> %a@."
+        (Op.pp ~loc_name) (History.op h a)
+        pp_edge_kind kind
+        (Op.pp ~loc_name) (History.op h b))
+    edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Diagnostics for forbidden histories.
+
+    A history is forbidden when {e every} candidate witness fails, so a
+    complete refutation is an exhaustive enumeration; what a user wants
+    is (a) the size of the candidate space that was exhausted and (b) a
+    concrete cycle showing why a representative candidate fails.  This
+    module provides both for the sequential-consistency structure (one
+    shared view), which is also the right explanation for the classic
+    "why is this not SC?" question. *)
+
+type edge_kind = Program_order | Reads_from | From_read | Coherence_order
+
+val pp_edge_kind : Format.formatter -> edge_kind -> unit
+
+type cycle = { ops : int list; edges : (int * edge_kind * int) list }
+(** [ops] in cycle order; [edges] annotate each consecutive pair (and
+    the wrap-around) with the relation that orders it. *)
+
+val candidate_space : History.t -> int * int
+(** (number of reads-from maps, number of coherence orders) the
+    checkers enumerate for this history. *)
+
+val sc_cycle : History.t -> cycle option
+(** A cycle in the SC constraint graph (po ∪ rf ∪ fr ∪ co) under the
+    first (reads-from, coherence) candidate, or [None] when the history
+    is SC under that candidate or has no reads-from candidate at all.
+    For a history the SC checker rejects, this is a concrete "why not"
+    certificate for one representative execution candidate. *)
+
+val pp_cycle : History.t -> Format.formatter -> cycle -> unit

@@ -1,0 +1,51 @@
+module Bitset = Smem_relation.Bitset
+module Rel = Smem_relation.Rel
+
+type view_spec = { proc : int; ops : Bitset.t; order : Rel.t }
+
+let rf_edges h ~rf =
+  let rel = Rel.create (History.nops h) in
+  List.iter
+    (fun r ->
+      let w = Reads_from.writer rf r in
+      if w <> History.init then Rel.add rel w r)
+    (History.reads h);
+  rel
+
+let fr_edges h ~rf ~co =
+  let rel = Rel.create (History.nops h) in
+  List.iter
+    (fun r ->
+      let w = Reads_from.writer rf r in
+      let loc = (History.op h r).Op.loc in
+      if w = History.init then
+        List.iter (fun w' -> if w' <> r then Rel.add rel r w') (History.writes_to h loc)
+      else List.iter (fun w' -> Rel.add rel r w') (Coherence.successors_from co w))
+    (History.reads h);
+  rel
+
+let check h ~rf ~co ~extra ~views =
+  let base = Rel.union (rf_edges h ~rf) (fr_edges h ~rf ~co) in
+  Rel.union_into ~into:base (Coherence.to_rel co);
+  Rel.union_into ~into:base extra;
+  let solve_view spec =
+    let graph = Rel.restrict (Rel.union spec.order base) spec.ops in
+    match Rel.topological_sort graph with
+    | None -> None
+    | Some order ->
+        let seq = List.filter (Bitset.mem spec.ops) order in
+        Some (spec.proc, seq)
+  in
+  let notes =
+    let rf_note = Format.asprintf "reads-from: %a" (Reads_from.pp h) rf in
+    let co_note = Format.asprintf "%a" (Coherence.pp h) co in
+    if String.trim co_note = "" then [ rf_note ] else [ rf_note; co_note ]
+  in
+  let rec solve acc = function
+    | [] -> Some (Witness.per_proc (List.rev acc) ~notes)
+    | spec :: rest -> (
+        match solve_view spec with
+        | None -> None
+        | Some view -> solve (view :: acc) rest)
+  in
+  solve [] views

@@ -1,0 +1,8 @@
+(** Local consistency: the weakest memory expressible with [δ_p = w] in
+    the framework — each processor's view respects only that
+    processor's own program order; other processors' writes may appear
+    in any order whatsoever.  A floor for the lattice. *)
+
+val witness : History.t -> Witness.t option
+val check : History.t -> bool
+val model : Model.t

@@ -1,0 +1,10 @@
+type t = {
+  key : string;
+  name : string;
+  description : string;
+  witness : History.t -> Witness.t option;
+}
+
+let make ~key ~name ~description witness = { key; name; description; witness }
+
+let check t h = Option.is_some (t.witness h)

@@ -1,0 +1,21 @@
+(** A memory model, characterized — as in §4 of the paper — by the set
+    of system execution histories it allows.  [witness] decides
+    membership and, when the history is allowed, exhibits the processor
+    views that demonstrate it. *)
+
+type t = {
+  key : string;  (** stable machine-readable identifier, e.g. ["tso"] *)
+  name : string;  (** display name, e.g. ["Total Store Ordering"] *)
+  description : string;
+  witness : History.t -> Witness.t option;
+}
+
+val make :
+  key:string ->
+  name:string ->
+  description:string ->
+  (History.t -> Witness.t option) ->
+  t
+
+val check : t -> History.t -> bool
+(** [check m h] — is [h] in the set of histories allowed by [m]? *)

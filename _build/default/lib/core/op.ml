@@ -1,0 +1,30 @@
+type kind = Read | Write
+
+type attr = Ordinary | Labeled
+
+type t = {
+  id : int;
+  proc : int;
+  index : int;
+  kind : kind;
+  loc : int;
+  value : int;
+  attr : attr;
+}
+
+let is_read t = t.kind = Read
+let is_write t = t.kind = Write
+let is_labeled t = t.attr = Labeled
+let is_ordinary t = t.attr = Ordinary
+let is_acquire t = t.kind = Read && t.attr = Labeled
+let is_release t = t.kind = Write && t.attr = Labeled
+
+let same_proc a b = a.proc = b.proc
+let same_loc a b = a.loc = b.loc
+
+let pp ~loc_name ppf t =
+  let k = match t.kind with Read -> "r" | Write -> "w" in
+  let star = match t.attr with Ordinary -> "" | Labeled -> "*" in
+  Format.fprintf ppf "%s%s_p%d(%s)%d" k star t.proc (loc_name t.loc) t.value
+
+let to_string ~loc_name t = Format.asprintf "%a" (pp ~loc_name) t

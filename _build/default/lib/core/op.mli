@@ -1,0 +1,43 @@
+(** Memory operations — the events of the paper's framework.
+
+    An operation is a read or a write by a processor, on a location,
+    with a value.  Operations carry an {e attribute} distinguishing
+    ordinary accesses from the {e labeled} (synchronization) accesses of
+    release consistency: a labeled read is an {e acquire}, a labeled
+    write a {e release}.  Every operation of a history has a dense
+    identifier [id] (its index in the history's operation array) and an
+    [index] giving its position in its processor's program. *)
+
+type kind = Read | Write
+
+type attr = Ordinary | Labeled
+
+type t = {
+  id : int;  (** dense identifier within the enclosing history *)
+  proc : int;  (** issuing processor, [0 ..] *)
+  index : int;  (** position in the processor's program order, [0 ..] *)
+  kind : kind;
+  loc : int;  (** interned location *)
+  value : int;
+  attr : attr;
+}
+
+val is_read : t -> bool
+val is_write : t -> bool
+val is_labeled : t -> bool
+val is_ordinary : t -> bool
+
+val is_acquire : t -> bool
+(** A labeled read. *)
+
+val is_release : t -> bool
+(** A labeled write. *)
+
+val same_proc : t -> t -> bool
+val same_loc : t -> t -> bool
+
+val pp : loc_name:(int -> string) -> Format.formatter -> t -> unit
+(** Print in the paper's notation, e.g. [w_p0(x)1] or [r_p2(y)0]; labeled
+    operations are starred: [w*_p0(s)1]. *)
+
+val to_string : loc_name:(int -> string) -> t -> string

@@ -1,0 +1,59 @@
+(** The ordering relations of §2 (parameter 3), computed over the
+    operation identifiers of a history as {!Smem_relation.Rel.t}.
+
+    - {!po}: total per-processor program order.
+    - {!ppo}: the partial program order of non-blocking memories — a
+      write followed (in program order) by a read of a {e different}
+      location is unordered; all other program-order pairs, and
+      everything reachable by chaining, stay ordered.
+    - {!po_loc}: program order restricted to same-location pairs.
+    - {!causal}: Lamport-style causality [(po ∪ wb)+] for a given
+      reads-from map.
+    - {!rwb}, {!rrb}, {!sem}: the remote writes-before, remote
+      reads-before and semi-causality relations of processor
+      consistency, for a given reads-from map and coherence order.
+
+    The [*_within] variants compute the same relations on the
+    {e subhistory} induced by a set of operations (used for the labeled
+    subhistories of release consistency): program-order adjacency is
+    taken within the subhistory and edges never leave it. *)
+
+module Bitset = Smem_relation.Bitset
+module Rel = Smem_relation.Rel
+
+val po : History.t -> Rel.t
+val po_loc : History.t -> Rel.t
+val ppo : History.t -> Rel.t
+
+val po_of_proc : History.t -> int -> Rel.t
+(** Program order restricted to one processor's own operations. *)
+
+val ppo_of_proc : History.t -> int -> Rel.t
+(** Partial program order restricted to one processor's own operations
+    (the ordering clause of release consistency constrains only the
+    view owner's operations). *)
+
+val real_time : History.t -> Rel.t
+(** Real-time precedence from operation intervals: [a] before [b] when
+    [a]'s response strictly precedes [b]'s invocation.  Empty when the
+    history carries no timing. *)
+
+val causal : History.t -> rf:Reads_from.t -> Rel.t
+
+val rwb : History.t -> rf:Reads_from.t -> Rel.t
+(** [o1 →rwb o2]: [o1] is a write, [o2] a read whose writer [o'] has
+    [o1 →ppo o']. *)
+
+val rrb : History.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
+(** [o1 →rrb o2]: [o1] is a read whose writer is coherence-before some
+    write [o'] to the same location (or is the initial write), and
+    [o' →ppo o2]. *)
+
+val sem : History.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
+(** Semi-causality: [(ppo ∪ rwb ∪ rrb)+]. *)
+
+val ppo_within : History.t -> members:Bitset.t -> Rel.t
+val sem_within :
+  History.t -> members:Bitset.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
+(** Semi-causality of the subhistory induced by [members]; reads-from
+    edges are considered only when both endpoints are members. *)

@@ -1,0 +1,31 @@
+module Rel = Smem_relation.Rel
+
+let witness h =
+  let nops = History.nops h in
+  let empty = Rel.create nops in
+  let found = ref None in
+  let _ : bool =
+    Reads_from.iter h ~f:(fun rf ->
+        Coherence.iter h ~f:(fun co ->
+            let sem = Orders.sem h ~rf ~co in
+            let views =
+              List.init (History.nprocs h) (fun p ->
+                  { Engine.proc = p; ops = History.view_ops_writes h p; order = sem })
+            in
+            match Engine.check h ~rf ~co ~extra:empty ~views with
+            | Some w ->
+                found := Some w;
+                true
+            | None -> false))
+  in
+  !found
+
+let check h = Option.is_some (witness h)
+
+let model =
+  Model.make ~key:"pc" ~name:"Processor Consistency (DASH)"
+    ~description:
+      "Per-processor views of own operations plus all writes; coherence as \
+       mutual consistency; semi-causality (ppo + remote writes-before + \
+       remote reads-before) as the ordering requirement."
+    witness

@@ -1,0 +1,61 @@
+module Rel = Smem_relation.Rel
+
+(* writer.(id) is the writer of read [id]; a sentinel -2 marks non-read slots. *)
+type t = { writer : int array }
+
+let no_writer = -2
+
+let writer t r =
+  let w = t.writer.(r) in
+  if w = no_writer then invalid_arg "Reads_from.writer: not a read";
+  w
+
+let reads_from_init t r = writer t r = History.init
+
+let candidates h r =
+  let op = History.op h r in
+  if not (Op.is_read op) then invalid_arg "Reads_from.candidates: not a read";
+  let writes =
+    History.writes_to h op.Op.loc
+    |> List.filter (fun w -> (History.op h w).Op.value = op.Op.value)
+  in
+  if op.Op.value = 0 then History.init :: writes else writes
+
+let iter h ~f =
+  let reads = History.reads h in
+  let writer = Array.make (History.nops h) no_writer in
+  let rec go = function
+    | [] -> f { writer = Array.copy writer }
+    | r :: rest ->
+        List.exists
+          (fun w ->
+            writer.(r) <- w;
+            let accepted = go rest in
+            writer.(r) <- no_writer;
+            accepted)
+          (candidates h r)
+  in
+  go reads
+
+let wb h t =
+  let rel = Rel.create (History.nops h) in
+  List.iter
+    (fun r ->
+      let w = writer t r in
+      if w <> History.init then Rel.add rel w r)
+    (History.reads h);
+  rel
+
+let pp h ppf t =
+  let loc_name l = History.loc_name h l in
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf r ->
+         let w = writer t r in
+         if w = History.init then
+           Format.fprintf ppf "%a<-init" (Op.pp ~loc_name) (History.op h r)
+         else
+           Format.fprintf ppf "%a<-%a" (Op.pp ~loc_name) (History.op h r)
+             (Op.pp ~loc_name) (History.op h w)))
+    (History.reads h)

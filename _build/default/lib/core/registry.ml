@@ -1,0 +1,24 @@
+let all =
+  [
+    Atomic.model;
+    Sc.model;
+    Tso.model;
+    Tso_operational.model;
+    Pc.model;
+    Rc.rc_sc;
+    Rc.rc_pc;
+    Weak_ordering.model;
+    Pc_goodman.model;
+    Causal_coherent.model;
+    Causal.model;
+    Coherence_only.model;
+    Pram.model;
+    Slow.model;
+    Local.model;
+  ]
+
+let comparable = [ Sc.model; Tso.model; Pc.model; Causal.model; Pram.model ]
+
+let find key = List.find_opt (fun (m : Model.t) -> m.Model.key = key) all
+
+let keys () = List.map (fun (m : Model.t) -> m.Model.key) all

@@ -1,0 +1,16 @@
+(** The catalogue of memory models, strongest first.  Keys are the CLI
+    identifiers ([atomic], [sc], [tso], [pc], [rc-sc], [rc-pc], [wo], [pc-g], [causal],
+    [causal-coh], [coh], [pram], [slow], [local], [tso-op]). *)
+
+val all : Model.t list
+(** Every model, strongest-to-weakest by the paper's Figure 5 (models
+    incomparable in the lattice appear in a fixed documented order). *)
+
+val comparable : Model.t list
+(** The models of the paper's Figure 5 only: SC, TSO, PC, Causal,
+    PRAM — the inputs to the lattice reconstruction. *)
+
+val find : string -> Model.t option
+(** Look up a model by key. *)
+
+val keys : unit -> string list

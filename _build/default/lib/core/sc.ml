@@ -1,0 +1,31 @@
+module Rel = Smem_relation.Rel
+
+let witness h =
+  let po = Orders.po h in
+  let all = History.all_ops_set h in
+  let empty = Rel.create (History.nops h) in
+  let found = ref None in
+  let accept w =
+    found := Some w;
+    true
+  in
+  let _ : bool =
+    Reads_from.iter h ~f:(fun rf ->
+        Coherence.iter h ~f:(fun co ->
+            match
+              Engine.check h ~rf ~co ~extra:empty
+                ~views:[ { Engine.proc = -1; ops = all; order = po } ]
+            with
+            | Some w -> accept w
+            | None -> false))
+  in
+  !found
+
+let check h = Option.is_some (witness h)
+
+let model =
+  Model.make ~key:"sc" ~name:"Sequential Consistency"
+    ~description:
+      "One legal interleaving of all operations, respecting program order, \
+       shared by all processors (Lamport 1979)."
+    witness

@@ -1,0 +1,10 @@
+(** Sequential consistency (Lamport [13]).
+
+    The strongest model of the paper: a single legal sequence containing
+    {e all} operations of {e all} processors, respecting full program
+    order, serves as every processor's view ([δ_p = a], mutual
+    consistency is total agreement, ordering is [po]). *)
+
+val witness : History.t -> Witness.t option
+val check : History.t -> bool
+val model : Model.t

@@ -1,0 +1,14 @@
+(** An independent, operational decision procedure for TSO, following
+    the implementation description quoted in §3.2: per-processor FIFO
+    store buffers in front of a single-ported shared memory.  A history
+    is accepted iff some interleaving of issue and buffer-flush steps
+    replays it — reads returning the newest buffered value for their
+    location, or the memory value when none is buffered.
+
+    This module exists to cross-validate {!Tso}: the paper argues its
+    view-based characterization captures the operational/axiomatic TSO,
+    and the test suite checks the two accept exactly the same
+    histories. *)
+
+val check : History.t -> bool
+val model : Model.t

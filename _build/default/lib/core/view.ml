@@ -1,0 +1,66 @@
+module Bitset = Smem_relation.Bitset
+module Rel = Smem_relation.Rel
+
+type legality = By_value | By_writer of Reads_from.t
+
+let exists ?(memoize = true) h ~ops ~order ~legality =
+  let nops = History.nops h in
+  if nops >= Sys.int_size then
+    invalid_arg "View.exists: history too large for the word-encoded search";
+  let ids = Array.of_list (Bitset.elements ops) in
+  let n = Array.length ids in
+  (* Predecessor masks: op [a] is ready once all its order-predecessors
+     within [ops] are placed. *)
+  let pred_mask = Array.make nops 0 in
+  Rel.iter_pairs
+    (fun a b ->
+      if Bitset.mem ops a && Bitset.mem ops b then
+        pred_mask.(b) <- pred_mask.(b) lor (1 lsl a))
+    order;
+  let nlocs = History.nlocs h in
+  let initial_cell = match legality with By_value -> 0 | By_writer _ -> History.init in
+  let mem = Array.make (max 1 nlocs) initial_cell in
+  let read_ok op =
+    let cell = mem.((op : Op.t).Op.loc) in
+    match legality with
+    | By_value -> cell = op.Op.value
+    | By_writer rf -> cell = Reads_from.writer rf op.Op.id
+  in
+  let cell_after op =
+    match legality with By_value -> (op : Op.t).Op.value | By_writer _ -> op.Op.id
+  in
+  let seq = Array.make n (-1) in
+  let failed = Hashtbl.create 97 in
+  let rec go depth placed =
+    if depth = n then true
+    else begin
+      let key = if memoize then Some (placed, Array.copy mem) else None in
+      if memoize && Hashtbl.mem failed (Option.get key) then false
+      else begin
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let a = ids.(!i) in
+          let bit = 1 lsl a in
+          if placed land bit = 0 && placed land pred_mask.(a) = pred_mask.(a) then begin
+            let op = History.op h a in
+            if Op.is_write op then begin
+              let saved = mem.(op.Op.loc) in
+              mem.(op.Op.loc) <- cell_after op;
+              seq.(depth) <- a;
+              if go (depth + 1) (placed lor bit) then ok := true
+              else mem.(op.Op.loc) <- saved
+            end
+            else if read_ok op then begin
+              seq.(depth) <- a;
+              if go (depth + 1) (placed lor bit) then ok := true
+            end
+          end;
+          incr i
+        done;
+        if memoize && not !ok then Hashtbl.add failed (Option.get key) ();
+        !ok
+      end
+    end
+  in
+  if go 0 0 then Some (Array.to_list seq) else None

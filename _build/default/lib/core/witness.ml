@@ -1,0 +1,15 @@
+type t = { views : (int * int list) list; notes : string list }
+
+let shared seq ~notes = { views = [ (-1, seq) ]; notes }
+
+let per_proc views ~notes = { views; notes }
+
+let pp h ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (p, seq) ->
+      if p < 0 then Format.fprintf ppf "S (shared): %a@," (History.pp_ops h) seq
+      else Format.fprintf ppf "S_p%d: %a@," p (History.pp_ops h) seq)
+    t.views;
+  List.iter (fun note -> Format.fprintf ppf "note: %s@," note) t.notes;
+  Format.fprintf ppf "@]"

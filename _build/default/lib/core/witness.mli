@@ -1,0 +1,19 @@
+(** Witnesses: the per-processor views demonstrating that a history is
+    allowed by a model.  A witness is what the paper exhibits when
+    arguing an execution is possible (e.g. the [S_{p+w}] sequences given
+    for Figures 1–4). *)
+
+type t = {
+  views : (int * int list) list;
+      (** (processor, operation ids in view order), one entry per view;
+          a single entry with processor [-1] denotes the shared view of
+          sequential consistency. *)
+  notes : string list;  (** human-readable facts about the witness *)
+}
+
+val shared : int list -> notes:string list -> t
+(** A single shared view (sequential consistency). *)
+
+val per_proc : (int * int list) list -> notes:string list -> t
+
+val pp : History.t -> Format.formatter -> t -> unit

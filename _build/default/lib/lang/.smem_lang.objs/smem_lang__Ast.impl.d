@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/lang/exec.mli: Ast

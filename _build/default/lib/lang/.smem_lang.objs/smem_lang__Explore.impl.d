@@ -1,0 +1,1 @@
+lib/lang/explore.ml: Array Ast Exec Fun Hashtbl List Printf Queue Random Smem_core Smem_machine

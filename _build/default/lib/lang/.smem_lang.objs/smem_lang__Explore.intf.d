@@ -1,0 +1,1 @@
+lib/lang/explore.mli: Ast Random Smem_core Smem_machine

@@ -1,0 +1,1 @@
+lib/lang/parse_prog.ml: Array Ast Format List String

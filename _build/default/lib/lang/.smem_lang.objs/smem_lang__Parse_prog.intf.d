@@ -1,0 +1,1 @@
+lib/lang/parse_prog.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/lang/print_prog.ml: Array Ast Buffer Format List Printf String

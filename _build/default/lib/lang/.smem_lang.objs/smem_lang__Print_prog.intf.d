@@ -1,0 +1,1 @@
+lib/lang/print_prog.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/lang/programs.ml: Array Ast

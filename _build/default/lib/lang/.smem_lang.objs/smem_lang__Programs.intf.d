@@ -1,0 +1,1 @@
+lib/lang/programs.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/races.ml: Array Ast Exec Format Fun Hashtbl List Smem_machine

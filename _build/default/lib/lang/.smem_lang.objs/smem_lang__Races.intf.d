@@ -1,0 +1,1 @@
+lib/lang/races.mli: Ast Format

@@ -1,0 +1,69 @@
+type expr =
+  | Int of int
+  | Reg of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type shared = { array : string; index : expr }
+
+type stmt =
+  | Assign of string * expr
+  | Load of { reg : string; src : shared; labeled : bool }
+  | Store of { dst : shared; value : expr; labeled : bool }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { var : string; from_ : expr; to_ : expr; body : stmt list }
+  | Tas of { reg : string; dst : shared }
+  | Cs_enter
+  | Cs_exit
+
+type program = { shared : (string * int) list; threads : stmt list array }
+
+type layout = {
+  offsets : (string * (int * int)) list;  (* array -> (offset, size) *)
+  total : int;
+  names : string array;
+}
+
+let layout program =
+  let offsets = ref [] in
+  let names = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun (name, size) ->
+      if size <= 0 then invalid_arg "Ast.layout: non-positive array size";
+      if List.mem_assoc name !offsets then
+        invalid_arg "Ast.layout: duplicate shared array";
+      offsets := (name, (!total, size)) :: !offsets;
+      for i = 0 to size - 1 do
+        let label = if size = 1 then name else Printf.sprintf "%s[%d]" name i in
+        names := label :: !names
+      done;
+      total := !total + size)
+    program.shared;
+  { offsets = List.rev !offsets; total = !total; names = Array.of_list (List.rev !names) }
+
+let nlocs l = l.total
+let loc_names l = l.names
+
+let loc_id l array index =
+  match List.assoc_opt array l.offsets with
+  | None -> invalid_arg ("Ast.loc_id: unknown shared array " ^ array)
+  | Some (offset, size) ->
+      if index < 0 || index >= size then
+        invalid_arg (Printf.sprintf "Ast.loc_id: %s[%d] out of bounds" array index);
+      offset + index
+
+let var array = { array; index = Int 0 }
+let elt array index = { array; index }
+
+let load ?(labeled = false) reg src = Load { reg; src; labeled }
+let store ?(labeled = false) dst value = Store { dst; value; labeled }

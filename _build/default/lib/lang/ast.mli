@@ -1,0 +1,71 @@
+(** A small concurrent language over shared memory.
+
+    Programs declare shared arrays (scalars are arrays of size 1) and
+    one statement list per thread.  Expressions are pure and read only
+    thread-local registers; shared memory is accessed exclusively
+    through {!constructor:Load} and {!constructor:Store} statements, so
+    every memory operation of an execution is explicit and can be
+    labeled (synchronization) or ordinary — exactly the operation
+    vocabulary of the paper.  [Cs_enter]/[Cs_exit] bracket critical
+    sections for the mutual-exclusion monitor. *)
+
+type expr =
+  | Int of int
+  | Reg of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type shared = { array : string; index : expr }
+
+type stmt =
+  | Assign of string * expr
+  | Load of { reg : string; src : shared; labeled : bool }
+  | Store of { dst : shared; value : expr; labeled : bool }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { var : string; from_ : expr; to_ : expr; body : stmt list }
+      (** inclusive bounds; the loop variable is a register *)
+  | Tas of { reg : string; dst : shared }
+      (** atomic test-and-set: [reg] receives the old value, the
+          location is set to 1 at the machine's global serialization
+          point (paper footnote 4) *)
+  | Cs_enter
+  | Cs_exit
+
+type program = {
+  shared : (string * int) list;  (** array name and size *)
+  threads : stmt list array;
+}
+
+(** {1 Shared-location layout} *)
+
+type layout
+
+val layout : program -> layout
+(** Flatten the shared arrays into dense location identifiers.
+    @raise Invalid_argument on duplicate array names or non-positive
+    sizes. *)
+
+val nlocs : layout -> int
+val loc_names : layout -> string array
+val loc_id : layout -> string -> int -> int
+(** [loc_id l array index] — the flat location of [array[index]].
+    @raise Invalid_argument when out of bounds or unknown. *)
+
+(** {1 Convenience constructors} *)
+
+val var : string -> shared
+(** Scalar shared variable: [{array; index = Int 0}]. *)
+
+val elt : string -> expr -> shared
+
+val load : ?labeled:bool -> string -> shared -> stmt
+val store : ?labeled:bool -> shared -> expr -> stmt

@@ -1,0 +1,85 @@
+module Env = struct
+  type t = (string * int) list  (* sorted by register name *)
+
+  let empty = []
+
+  let get t reg = match List.assoc_opt reg t with Some v -> v | None -> 0
+
+  let rec set t reg value =
+    match t with
+    | [] -> [ (reg, value) ]
+    | (r, _) :: rest when r = reg -> (reg, value) :: rest
+    | (r, v) :: rest when r > reg -> (reg, value) :: (r, v) :: rest
+    | binding :: rest -> binding :: set rest reg value
+
+  let bindings t = t
+end
+
+let bool_int b = if b then 1 else 0
+
+let rec eval env : Ast.expr -> int = function
+  | Ast.Int n -> n
+  | Ast.Reg r -> Env.get env r
+  | Ast.Add (a, b) -> eval env a + eval env b
+  | Ast.Sub (a, b) -> eval env a - eval env b
+  | Ast.Mul (a, b) -> eval env a * eval env b
+  | Ast.Eq (a, b) -> bool_int (eval env a = eval env b)
+  | Ast.Ne (a, b) -> bool_int (eval env a <> eval env b)
+  | Ast.Lt (a, b) -> bool_int (eval env a < eval env b)
+  | Ast.Le (a, b) -> bool_int (eval env a <= eval env b)
+  | Ast.And (a, b) -> bool_int (eval env a <> 0 && eval env b <> 0)
+  | Ast.Or (a, b) -> bool_int (eval env a <> 0 || eval env b <> 0)
+  | Ast.Not a -> bool_int (eval env a = 0)
+
+type action =
+  | A_load of { reg : string; loc : int; labeled : bool }
+  | A_store of { loc : int; value : int; labeled : bool }
+  | A_tas of { reg : string; loc : int }
+  | A_enter
+  | A_exit
+
+type status =
+  | At_action of action * Env.t * Ast.stmt list
+  | Finished of Env.t
+  | Out_of_fuel
+
+let resolve layout env (s : Ast.shared) =
+  Ast.loc_id layout s.Ast.array (eval env s.Ast.index)
+
+let step_to_action layout ~env ~cont ~fuel =
+  let rec go env cont fuel =
+    if fuel <= 0 then Out_of_fuel
+    else
+      match cont with
+      | [] -> Finished env
+      | stmt :: rest -> (
+          match stmt with
+          | Ast.Assign (reg, e) -> go (Env.set env reg (eval env e)) rest (fuel - 1)
+          | Ast.Load { reg; src; labeled } ->
+              At_action (A_load { reg; loc = resolve layout env src; labeled }, env, rest)
+          | Ast.Store { dst; value; labeled } ->
+              At_action
+                ( A_store
+                    { loc = resolve layout env dst; value = eval env value; labeled },
+                  env,
+                  rest )
+          | Ast.If (c, then_, else_) ->
+              let branch = if eval env c <> 0 then then_ else else_ in
+              go env (branch @ rest) (fuel - 1)
+          | Ast.While (c, body) ->
+              if eval env c <> 0 then go env (body @ (stmt :: rest)) (fuel - 1)
+              else go env rest (fuel - 1)
+          | Ast.For { var; from_; to_; body } ->
+              let lo = eval env from_ and hi = eval env to_ in
+              if lo > hi then go env rest (fuel - 1)
+              else
+                let continue =
+                  Ast.For { var; from_ = Ast.Int (lo + 1); to_ = Ast.Int hi; body }
+                in
+                go (Env.set env var lo) (body @ (continue :: rest)) (fuel - 1)
+          | Ast.Tas { reg; dst } ->
+              At_action (A_tas { reg; loc = resolve layout env dst }, env, rest)
+          | Ast.Cs_enter -> At_action (A_enter, env, rest)
+          | Ast.Cs_exit -> At_action (A_exit, env, rest))
+  in
+  go env cont fuel

@@ -1,0 +1,45 @@
+(** Thread-local execution: expression evaluation and deterministic
+    small-step reduction of a thread up to its next {e visible} action
+    (a shared-memory access, a critical-section marker, or
+    termination).  Local computation is collapsed because only memory
+    operations interact with the machine — the standard reduction for
+    exploring concurrent programs. *)
+
+module Env : sig
+  (** Thread-local registers.  Unset registers read as [0].  The
+      representation is canonical (sorted), so structural equality on
+      environments is semantic equality — required by the explorer's
+      memoization. *)
+
+  type t
+
+  val empty : t
+  val get : t -> string -> int
+  val set : t -> string -> int -> t
+  val bindings : t -> (string * int) list
+end
+
+val eval : Env.t -> Ast.expr -> int
+(** Booleans are [0]/[1]. *)
+
+type action =
+  | A_load of { reg : string; loc : int; labeled : bool }
+  | A_store of { loc : int; value : int; labeled : bool }
+  | A_tas of { reg : string; loc : int }
+  | A_enter
+  | A_exit
+
+type status =
+  | At_action of action * Env.t * Ast.stmt list
+      (** The thread is about to perform [action]; the environment and
+          continuation are the state {e after} local reduction but
+          {e before} the action (for a load, bind the observed value to
+          the action's register afterwards). *)
+  | Finished of Env.t
+  | Out_of_fuel
+
+val step_to_action :
+  Ast.layout -> env:Env.t -> cont:Ast.stmt list -> fuel:int -> status
+(** Reduce local steps (assignments, branches, loop unfoldings) until a
+    visible action or termination; [fuel] bounds local steps to guard
+    against memory-free divergence. *)

@@ -1,0 +1,276 @@
+module H = Smem_core.History
+module Op = Smem_core.Op
+
+type verdict = Safe of int | Violation of string list | State_limit
+
+type thread = { env : Exec.Env.t; cont : Ast.stmt list; in_cs : bool; finished : bool }
+
+let initial_threads program =
+  Array.map
+    (fun code -> { env = Exec.Env.empty; cont = code; in_cs = false; finished = false })
+    program.Ast.threads
+
+let describe_action thread_id = function
+  | Exec.A_load { reg; loc; labeled } ->
+      Printf.sprintf "t%d: %s <- load loc%d%s" thread_id reg loc
+        (if labeled then " (labeled)" else "")
+  | Exec.A_store { loc; value; labeled } ->
+      Printf.sprintf "t%d: store loc%d := %d%s" thread_id loc value
+        (if labeled then " (labeled)" else "")
+  | Exec.A_tas { reg; loc } ->
+      Printf.sprintf "t%d: %s <- test-and-set loc%d" thread_id reg loc
+  | Exec.A_enter -> Printf.sprintf "t%d: enter critical section" thread_id
+  | Exec.A_exit -> Printf.sprintf "t%d: exit critical section" thread_id
+
+exception Found of string list
+
+let check_mutex ?(max_states = 2_000_000) ?(fuel = 10_000)
+    (module M : Smem_machine.Machine_sig.MACHINE) program =
+  let layout = Ast.layout program in
+  let nthreads = Array.length program.Ast.threads in
+  let visited = Hashtbl.create 65_537 in
+  let states = ref 0 in
+  let limit_hit = ref false in
+  let rec explore machine threads path =
+    let key = (machine, Array.map (fun t -> (t.env, t.cont, t.in_cs)) threads) in
+    if Hashtbl.mem visited key || !limit_hit then ()
+    else begin
+      incr states;
+      if !states > max_states then limit_hit := true
+      else begin
+        Hashtbl.add visited key ();
+        let step_thread i =
+          let t = threads.(i) in
+          if t.finished then ()
+          else
+            match Exec.step_to_action layout ~env:t.env ~cont:t.cont ~fuel with
+            | Exec.Out_of_fuel ->
+                invalid_arg "Explore.check_mutex: thread ran out of local fuel"
+            | Exec.Finished env ->
+                let threads' = Array.copy threads in
+                threads'.(i) <- { t with env; finished = true };
+                explore machine threads' path
+            | Exec.At_action (action, env, cont) -> (
+                let path' = describe_action i action :: path in
+                match action with
+                | Exec.A_load { reg; loc; labeled } ->
+                    let v, machine' = M.read machine ~proc:i ~loc ~labeled in
+                    let threads' = Array.copy threads in
+                    threads'.(i) <- { t with env = Exec.Env.set env reg v; cont };
+                    explore machine' threads' path'
+                | Exec.A_store { loc; value; labeled } ->
+                    let machine' = M.write machine ~proc:i ~loc ~value ~labeled in
+                    let threads' = Array.copy threads in
+                    threads'.(i) <- { t with env; cont };
+                    explore machine' threads' path'
+                | Exec.A_tas { reg; loc } ->
+                    let old, machine' = M.test_and_set machine ~proc:i ~loc in
+                    let threads' = Array.copy threads in
+                    threads'.(i) <- { t with env = Exec.Env.set env reg old; cont };
+                    explore machine' threads' path'
+                | Exec.A_enter ->
+                    let others_in =
+                      Array.exists (fun (u : thread) -> u.in_cs) threads
+                    in
+                    if others_in then raise (Found (List.rev path'))
+                    else begin
+                      let threads' = Array.copy threads in
+                      threads'.(i) <- { t with env; cont; in_cs = true };
+                      explore machine threads' path'
+                    end
+                | Exec.A_exit ->
+                    let threads' = Array.copy threads in
+                    threads'.(i) <- { t with env; cont; in_cs = false };
+                    explore machine threads' path')
+        in
+        for i = 0 to nthreads - 1 do
+          step_thread i
+        done;
+        List.iter
+          (fun machine' -> explore machine' threads (".: internal step" :: path))
+          (M.internal machine)
+      end
+    end
+  in
+  try
+    explore
+      (M.create ~nprocs:nthreads ~nlocs:(Ast.nlocs layout))
+      (initial_threads program) [];
+    if !limit_hit then State_limit else Safe !states
+  with Found trace -> Violation trace
+
+type liveness = Deadlock_free of int | Stuck of int | Liveness_state_limit
+
+let check_deadlock_freedom ?(max_states = 2_000_000) ?(fuel = 10_000)
+    (module M : Smem_machine.Machine_sig.MACHINE) program =
+  let layout = Ast.layout program in
+  let nthreads = Array.length program.Ast.threads in
+  (* Forward pass: build the reachable state graph.  A state is keyed by
+     the machine plus each thread's (env, cont, finished). *)
+  let key_of machine threads =
+    (machine, Array.map (fun t -> (t.env, t.cont, t.finished)) threads)
+  in
+  let successors = Hashtbl.create 65_537 in
+  let terminal = Hashtbl.create 97 in
+  let limit = ref false in
+  let rec explore machine threads =
+    let key = key_of machine threads in
+    if Hashtbl.mem successors key || !limit then ()
+    else if Hashtbl.length successors >= max_states then limit := true
+    else begin
+      let succs = ref [] in
+      let push m' t' =
+        succs := key_of m' t' :: !succs;
+        explore m' t'
+      in
+      Hashtbl.add successors key [];
+      let step_thread i =
+        let t = threads.(i) in
+        if t.finished then ()
+        else
+          match Exec.step_to_action layout ~env:t.env ~cont:t.cont ~fuel with
+          | Exec.Out_of_fuel ->
+              invalid_arg "Explore.check_deadlock_freedom: thread out of fuel"
+          | Exec.Finished env ->
+              let threads' = Array.copy threads in
+              threads'.(i) <- { t with env; finished = true };
+              push machine threads'
+          | Exec.At_action (action, env, cont) -> (
+              let with_thread env' = 
+                let threads' = Array.copy threads in
+                threads'.(i) <- { t with env = env'; cont };
+                threads'
+              in
+              match action with
+              | Exec.A_load { reg; loc; labeled } ->
+                  let v, m' = M.read machine ~proc:i ~loc ~labeled in
+                  push m' (with_thread (Exec.Env.set env reg v))
+              | Exec.A_store { loc; value; labeled } ->
+                  push (M.write machine ~proc:i ~loc ~value ~labeled) (with_thread env)
+              | Exec.A_tas { reg; loc } ->
+                  let old, m' = M.test_and_set machine ~proc:i ~loc in
+                  push m' (with_thread (Exec.Env.set env reg old))
+              | Exec.A_enter | Exec.A_exit ->
+                  (* CS markers do not touch memory; in_cs is irrelevant
+                     to termination, so leave it unchanged. *)
+                  push machine (with_thread env))
+      in
+      for i = 0 to nthreads - 1 do
+        step_thread i
+      done;
+      List.iter (fun m' -> push m' threads) (M.internal machine);
+      Hashtbl.replace successors key !succs;
+      if Array.for_all (fun t -> t.finished) threads then
+        Hashtbl.replace terminal key ()
+    end
+  in
+  explore
+    (M.create ~nprocs:nthreads ~nlocs:(Ast.nlocs layout))
+    (initial_threads program);
+  if !limit then Liveness_state_limit
+  else begin
+    (* Backward pass: which states can reach a terminal state?  Build
+       reverse edges and flood from the terminals. *)
+    let reverse = Hashtbl.create 65_537 in
+    Hashtbl.iter
+      (fun src succs ->
+        List.iter
+          (fun dst ->
+            Hashtbl.replace reverse dst
+              (src :: (try Hashtbl.find reverse dst with Not_found -> [])))
+          succs)
+      successors;
+    let alive = Hashtbl.create 65_537 in
+    let queue = Queue.create () in
+    Hashtbl.iter
+      (fun k () ->
+        Hashtbl.replace alive k ();
+        Queue.add k queue)
+      terminal;
+    while not (Queue.is_empty queue) do
+      let k = Queue.pop queue in
+      List.iter
+        (fun pred ->
+          if not (Hashtbl.mem alive pred) then begin
+            Hashtbl.replace alive pred ();
+            Queue.add pred queue
+          end)
+        (try Hashtbl.find reverse k with Not_found -> [])
+    done;
+    let stuck = Hashtbl.length successors - Hashtbl.length alive in
+    if stuck = 0 then Deadlock_free (Hashtbl.length successors) else Stuck stuck
+  end
+
+let run_random ?(fuel = 10_000) (module M : Smem_machine.Machine_sig.MACHINE)
+    program ~rand =
+  let layout = Ast.layout program in
+  let nthreads = Array.length program.Ast.threads in
+  let machine = ref (M.create ~nprocs:nthreads ~nlocs:(Ast.nlocs layout)) in
+  let threads = initial_threads program in
+  let violated = ref false in
+  let trace = ref [] in
+  let record proc kind loc value labeled =
+    trace := (proc, kind, loc, value, labeled) :: !trace
+  in
+  let step_thread i =
+    let t = threads.(i) in
+    match Exec.step_to_action layout ~env:t.env ~cont:t.cont ~fuel with
+    | Exec.Out_of_fuel -> invalid_arg "Explore.run_random: thread ran out of fuel"
+    | Exec.Finished env -> threads.(i) <- { t with env; finished = true }
+    | Exec.At_action (action, env, cont) -> (
+        match action with
+        | Exec.A_load { reg; loc; labeled } ->
+            let v, m' = M.read !machine ~proc:i ~loc ~labeled in
+            machine := m';
+            record i Op.Read loc v labeled;
+            threads.(i) <- { t with env = Exec.Env.set env reg v; cont }
+        | Exec.A_store { loc; value; labeled } ->
+            machine := M.write !machine ~proc:i ~loc ~value ~labeled;
+            record i Op.Write loc value labeled;
+            threads.(i) <- { t with env; cont }
+        | Exec.A_tas { reg; loc } ->
+            let old, m' = M.test_and_set !machine ~proc:i ~loc in
+            machine := m';
+            (* recorded as the write it performs (paper footnote 4) *)
+            record i Op.Write loc 1 true;
+            threads.(i) <- { t with env = Exec.Env.set env reg old; cont }
+        | Exec.A_enter ->
+            if Array.exists (fun (u : thread) -> u.in_cs) threads then violated := true;
+            threads.(i) <- { t with env; cont; in_cs = true }
+        | Exec.A_exit -> threads.(i) <- { t with env; cont; in_cs = false })
+  in
+  let rec loop () =
+    let runnable =
+      List.filter (fun i -> not threads.(i).finished) (List.init nthreads Fun.id)
+    in
+    let internals = M.internal !machine in
+    let n = List.length runnable + List.length internals in
+    if n = 0 then ()
+    else begin
+      let k = Random.State.int rand n in
+      if k < List.length runnable then step_thread (List.nth runnable k)
+      else machine := List.nth internals (k - List.length runnable);
+      loop ()
+    end
+  in
+  loop ();
+  let next_index = Array.make nthreads 0 in
+  let ops =
+    List.rev !trace
+    |> List.mapi (fun id (proc, kind, loc, value, labeled) ->
+           let index = next_index.(proc) in
+           next_index.(proc) <- index + 1;
+           {
+             Op.id;
+             proc;
+             index;
+             kind;
+             loc;
+             value;
+             attr = (if labeled then Op.Labeled else Op.Ordinary);
+           })
+  in
+  let history =
+    H.of_ops ~nprocs:nthreads ~loc_names:(Ast.loc_names layout) ops
+  in
+  (history, !violated)

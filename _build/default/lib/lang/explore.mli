@@ -1,0 +1,58 @@
+(** Running programs on machines: exhaustive state-space exploration
+    with a mutual-exclusion monitor, random scheduling, and history
+    recording.
+
+    The exhaustive explorer interleaves thread steps (each advancing one
+    visible action) with machine-internal steps, memoizing visited
+    (machine, threads) states; it decides whether two threads can be in
+    their critical sections simultaneously — exactly the §5 question for
+    the Bakery algorithm. *)
+
+type verdict =
+  | Safe of int  (** mutual exclusion holds; states explored *)
+  | Violation of string list
+      (** a schedule reaching two threads in the critical section, as a
+          human-readable action trace *)
+  | State_limit  (** exploration hit the state bound before finishing *)
+
+val check_mutex :
+  ?max_states:int ->
+  ?fuel:int ->
+  Smem_machine.Machine_sig.machine ->
+  Ast.program ->
+  verdict
+(** Exhaustive check.  [max_states] defaults to 2_000_000; [fuel]
+    bounds local computation per scheduling step (default 10_000).
+    @raise Invalid_argument if a thread runs out of local fuel (a
+    memory-free loop). *)
+
+type liveness =
+  | Deadlock_free of int
+      (** from every reachable state some schedule completes all
+          threads; states explored *)
+  | Stuck of int
+      (** number of reachable states from which no schedule terminates
+          (spin loops whose exit condition can never become true) *)
+  | Liveness_state_limit
+
+val check_deadlock_freedom :
+  ?max_states:int ->
+  ?fuel:int ->
+  Smem_machine.Machine_sig.machine ->
+  Ast.program ->
+  liveness
+(** The paper's §5 recalls that the Bakery algorithm under SC "is free
+    from deadlocks": here that is the graph property that every
+    reachable state of the program × machine system can still reach the
+    all-threads-finished state.  (Freedom from {e starvation} is a
+    fairness property outside this explorer's scope.) *)
+
+val run_random :
+  ?fuel:int ->
+  Smem_machine.Machine_sig.machine ->
+  Ast.program ->
+  rand:Random.State.t ->
+  Smem_core.History.t * bool
+(** One random schedule to completion.  Returns the history of memory
+    operations performed and whether mutual exclusion was violated
+    during the run. *)

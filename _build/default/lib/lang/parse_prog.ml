@@ -1,0 +1,273 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Sym of string  (* one of the fixed operator/punctuation spellings *)
+
+type located = { tok : token; line : int }
+
+let symbols =
+  (* longest first, so ":=", "<=", "==" win over their prefixes *)
+  [ ":="; "<-"; "=="; "!="; "<="; ">="; "&&"; "||";
+    "{"; "}"; "["; "]"; "("; ")"; "+"; "-"; "*"; "<"; ">"; "="; "!" ]
+
+let lex source =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length source in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && source.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit source.[!i] do
+        incr i
+      done;
+      tokens :=
+        { tok = Int (int_of_string (String.sub source start (!i - start))); line = !line }
+        :: !tokens
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        incr i
+      done;
+      tokens :=
+        { tok = Ident (String.sub source start (!i - start)); line = !line } :: !tokens
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun sym ->
+            let l = String.length sym in
+            !i + l <= n && String.sub source !i l = sym)
+          symbols
+      in
+      match matched with
+      | Some sym ->
+          tokens := { tok = Sym sym; line = !line } :: !tokens;
+          i := !i + String.length sym
+      | None -> fail !line "unexpected character %C" c
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over a mutable token stream               *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable rest : located list; mutable last_line : int }
+
+let peek s = match s.rest with [] -> None | t :: _ -> Some t
+
+let advance s =
+  match s.rest with
+  | [] -> fail s.last_line "unexpected end of input"
+  | t :: rest ->
+      s.rest <- rest;
+      s.last_line <- t.line;
+      t
+
+let expect_sym s sym =
+  let t = advance s in
+  match t.tok with
+  | Sym got when got = sym -> ()
+  | _ -> fail t.line "expected %S" sym
+
+let expect_ident s =
+  let t = advance s in
+  match t.tok with
+  | Ident name -> (name, t.line)
+  | _ -> fail t.line "expected an identifier"
+
+let expect_int s =
+  let t = advance s in
+  match t.tok with Int v -> v | _ -> fail t.line "expected an integer"
+
+let accept_sym s sym =
+  match peek s with
+  | Some { tok = Sym got; _ } when got = sym ->
+      ignore (advance s);
+      true
+  | _ -> false
+
+let accept_ident s name =
+  match peek s with
+  | Some { tok = Ident got; _ } when got = name ->
+      ignore (advance s);
+      true
+  | _ -> false
+
+(* Expressions, by precedence climbing: || < && < comparison < additive
+   < multiplicative < unary < atoms. *)
+let rec parse_or s =
+  let lhs = parse_and s in
+  if accept_sym s "||" then Ast.Or (lhs, parse_or s) else lhs
+
+and parse_and s =
+  let lhs = parse_cmp s in
+  if accept_sym s "&&" then Ast.And (lhs, parse_and s) else lhs
+
+and parse_cmp s =
+  let lhs = parse_add s in
+  if accept_sym s "==" then Ast.Eq (lhs, parse_add s)
+  else if accept_sym s "!=" then Ast.Ne (lhs, parse_add s)
+  else if accept_sym s "<=" then Ast.Le (lhs, parse_add s)
+  else if accept_sym s ">=" then Ast.Le (parse_add s, lhs)
+  else if accept_sym s "<" then Ast.Lt (lhs, parse_add s)
+  else if accept_sym s ">" then Ast.Lt (parse_add s, lhs)
+  else lhs
+
+and parse_add s =
+  let lhs = parse_mul s in
+  if accept_sym s "+" then Ast.Add (lhs, parse_add s)
+  else if accept_sym s "-" then Ast.Sub (lhs, parse_add s)
+  else lhs
+
+and parse_mul s =
+  let lhs = parse_unary s in
+  if accept_sym s "*" then Ast.Mul (lhs, parse_mul s) else lhs
+
+and parse_unary s =
+  if accept_sym s "!" then Ast.Not (parse_unary s) else parse_atom s
+
+and parse_atom s =
+  let t = advance s in
+  match t.tok with
+  | Int v -> Ast.Int v
+  | Ident r -> Ast.Reg r
+  | Sym "(" ->
+      let e = parse_or s in
+      expect_sym s ")";
+      e
+  | Sym "-" -> (
+      (* negative literal *)
+      match (advance s).tok with
+      | Int v -> Ast.Int (-v)
+      | _ -> fail t.line "expected an integer after unary '-'")
+  | _ -> fail t.line "expected an expression"
+
+let parse_shared_ref s =
+  let name, _ = expect_ident s in
+  if accept_sym s "[" then begin
+    let index = parse_or s in
+    expect_sym s "]";
+    { Ast.array = name; index }
+  end
+  else Ast.var name
+
+let rec parse_block s =
+  expect_sym s "{";
+  let rec go acc =
+    if accept_sym s "}" then List.rev acc else go (parse_stmt s :: acc)
+  in
+  go []
+
+and parse_stmt s =
+  let t = advance s in
+  match t.tok with
+  | Ident "load" ->
+      let labeled = accept_sym s "*" in
+      let reg, _ = expect_ident s in
+      expect_sym s "<-";
+      Ast.Load { reg; src = parse_shared_ref s; labeled }
+  | Ident "store" ->
+      let labeled = accept_sym s "*" in
+      let dst = parse_shared_ref s in
+      expect_sym s ":=";
+      Ast.Store { dst; value = parse_or s; labeled }
+  | Ident "tas" ->
+      let reg, _ = expect_ident s in
+      expect_sym s "<-";
+      Ast.Tas { reg; dst = parse_shared_ref s }
+  | Ident "if" ->
+      let cond = parse_or s in
+      let then_ = parse_block s in
+      let else_ = if accept_ident s "else" then parse_block s else [] in
+      Ast.If (cond, then_, else_)
+  | Ident "while" ->
+      let cond = parse_or s in
+      Ast.While (cond, parse_block s)
+  | Ident "for" ->
+      let var, _ = expect_ident s in
+      expect_sym s "=";
+      let from_ = parse_or s in
+      if not (accept_ident s "to") then fail t.line "expected 'to' in for loop";
+      let to_ = parse_or s in
+      Ast.For { var; from_; to_; body = parse_block s }
+  | Ident "enter" -> Ast.Cs_enter
+  | Ident "exit" -> Ast.Cs_exit
+  | Ident reg ->
+      expect_sym s ":=";
+      Ast.Assign (reg, parse_or s)
+  | _ -> fail t.line "expected a statement"
+
+let program_of_string source =
+  try
+    let s = { rest = lex source; last_line = 1 } in
+    let shared = ref [] in
+    let threads = ref [] in
+    let rec go () =
+      match peek s with
+      | None -> ()
+      | Some t -> (
+          match t.tok with
+          | Ident "shared" ->
+              ignore (advance s);
+              let name, line = expect_ident s in
+              let size =
+                if accept_sym s "[" then begin
+                  let n = expect_int s in
+                  expect_sym s "]";
+                  n
+                end
+                else 1
+              in
+              if List.mem_assoc name !shared then
+                fail line "shared array %S declared twice" name;
+              shared := (name, size) :: !shared;
+              go ()
+          | Ident "thread" ->
+              ignore (advance s);
+              let id = expect_int s in
+              let expected = List.length !threads in
+              if id <> expected then
+                fail t.line "expected thread %d, got %d" expected id;
+              threads := parse_block s :: !threads;
+              go ()
+          | _ -> fail t.line "expected 'shared' or 'thread'")
+    in
+    go ();
+    if !threads = [] then fail s.last_line "no threads declared";
+    Ok
+      {
+        Ast.shared = List.rev !shared;
+        threads = Array.of_list (List.rev !threads);
+      }
+  with Parse_error e -> Error e

@@ -1,0 +1,45 @@
+(** Parser for the concrete syntax of the concurrent language.
+
+    {v
+    # two-processor spinlock
+    shared lock
+
+    thread 0 {
+      tas got <- lock
+      while got != 0 { tas got <- lock }
+      enter
+      exit
+      store* lock := 0
+    }
+
+    thread 1 {
+      tas got <- lock
+      while got != 0 { tas got <- lock }
+      enter
+      exit
+      store* lock := 0
+    }
+    v}
+
+    Declarations: [shared name] (a scalar) or [shared name[n]] (an
+    array).  Threads must be numbered densely from 0.  Statements:
+
+    - [reg := expr] — register assignment;
+    - [load reg <- shared] / [load* reg <- shared] — ordinary/labeled
+      (acquire) read of [name] or [name[expr]];
+    - [store shared := expr] / [store* shared := expr] —
+      ordinary/labeled (release) write;
+    - [tas reg <- shared] — atomic test-and-set;
+    - [if expr { ... } else { ... }] (else optional), [while expr { ... }],
+      [for reg = expr to expr { ... }];
+    - [enter] / [exit] — critical-section markers for the
+      mutual-exclusion monitor.
+
+    Expressions: integers, registers, [+ - *], comparisons
+    [== != < <= > >=], [&& || !], parentheses.  [#] starts a comment. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val program_of_string : string -> (Ast.program, error) result

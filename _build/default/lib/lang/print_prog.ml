@@ -1,0 +1,75 @@
+(* Precedence levels mirror the parser: 0 = ||, 1 = &&, 2 = comparison,
+   3 = additive, 4 = multiplicative, 5 = unary/atom.  Parenthesize when
+   a subexpression's level is below its context. *)
+let rec expr level e =
+  let wrap l s = if l < level then "(" ^ s ^ ")" else s in
+  match (e : Ast.expr) with
+  | Ast.Int n -> if n < 0 then Printf.sprintf "(-%d)" (-n) else string_of_int n
+  | Ast.Reg r -> r
+  | Ast.Or (a, b) -> wrap 0 (expr 1 a ^ " || " ^ expr 0 b)
+  | Ast.And (a, b) -> wrap 1 (expr 2 a ^ " && " ^ expr 1 b)
+  | Ast.Eq (a, b) -> wrap 2 (expr 3 a ^ " == " ^ expr 3 b)
+  | Ast.Ne (a, b) -> wrap 2 (expr 3 a ^ " != " ^ expr 3 b)
+  | Ast.Lt (a, b) -> wrap 2 (expr 3 a ^ " < " ^ expr 3 b)
+  | Ast.Le (a, b) -> wrap 2 (expr 3 a ^ " <= " ^ expr 3 b)
+  | Ast.Add (a, b) -> wrap 3 (expr 4 a ^ " + " ^ expr 3 b)
+  | Ast.Sub (a, b) -> wrap 3 (expr 4 a ^ " - " ^ expr 3 b)
+  | Ast.Mul (a, b) -> wrap 4 (expr 5 a ^ " * " ^ expr 4 b)
+  | Ast.Not a -> wrap 5 ("!" ^ expr 5 a)
+
+let expr_to_string e = expr 0 e
+
+let shared_ref (s : Ast.shared) =
+  match s.Ast.index with
+  | Ast.Int 0 -> s.Ast.array
+  | index -> Printf.sprintf "%s[%s]" s.Ast.array (expr_to_string index)
+
+let star labeled = if labeled then "*" else ""
+
+let rec stmt buf indent st =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+  match (st : Ast.stmt) with
+  | Ast.Assign (r, e) -> line "%s := %s" r (expr_to_string e)
+  | Ast.Load { reg; src; labeled } ->
+      line "load%s %s <- %s" (star labeled) reg (shared_ref src)
+  | Ast.Store { dst; value; labeled } ->
+      line "store%s %s := %s" (star labeled) (shared_ref dst) (expr_to_string value)
+  | Ast.Tas { reg; dst } -> line "tas %s <- %s" reg (shared_ref dst)
+  | Ast.If (c, then_, []) ->
+      line "if %s {" (expr_to_string c);
+      List.iter (stmt buf (indent + 2)) then_;
+      line "}"
+  | Ast.If (c, then_, else_) ->
+      line "if %s {" (expr_to_string c);
+      List.iter (stmt buf (indent + 2)) then_;
+      line "} else {";
+      List.iter (stmt buf (indent + 2)) else_;
+      line "}"
+  | Ast.While (c, body) ->
+      line "while %s {" (expr_to_string c);
+      List.iter (stmt buf (indent + 2)) body;
+      line "}"
+  | Ast.For { var; from_; to_; body } ->
+      line "for %s = %s to %s {" var (expr_to_string from_) (expr_to_string to_);
+      List.iter (stmt buf (indent + 2)) body;
+      line "}"
+  | Ast.Cs_enter -> line "enter"
+  | Ast.Cs_exit -> line "exit"
+
+let to_string (p : Ast.program) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, size) ->
+      if size = 1 then Buffer.add_string buf (Printf.sprintf "shared %s\n" name)
+      else Buffer.add_string buf (Printf.sprintf "shared %s[%d]\n" name size))
+    p.Ast.shared;
+  Array.iteri
+    (fun i body ->
+      Buffer.add_string buf (Printf.sprintf "\nthread %d {\n" i);
+      List.iter (stmt buf 2) body;
+      Buffer.add_string buf "}\n")
+    p.Ast.threads;
+  Buffer.contents buf
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

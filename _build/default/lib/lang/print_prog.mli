@@ -1,0 +1,6 @@
+(** Printer for the concurrent language — inverse of {!Parse_prog}:
+    [Parse_prog.program_of_string (to_string p)] reproduces [p]. *)
+
+val to_string : Ast.program -> string
+val pp : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string

@@ -1,0 +1,143 @@
+open Ast
+
+let reg r = Ast.Reg r
+
+(* Lamport's Bakery algorithm, one entry per processor (Figure 6 of the
+   paper).  The entry/exit protocol accesses only choosing[] and
+   number[], which are the labeled (synchronization) variables. *)
+let bakery ?(labeled = true) ~n () =
+  let thread i =
+    let choosing k = elt "choosing" k in
+    let number k = elt "number" k in
+    [
+      store ~labeled (choosing (Int i)) (Int 1);
+      Assign ("mine", Int 0);
+      For
+        {
+          var = "j";
+          from_ = Int 0;
+          to_ = Int (n - 1);
+          body =
+            [
+              load ~labeled "tmp" (number (reg "j"));
+              If (Lt (reg "mine", reg "tmp"), [ Assign ("mine", reg "tmp") ], []);
+            ];
+        };
+      Assign ("mine", Add (reg "mine", Int 1));
+      store ~labeled (number (Int i)) (reg "mine");
+      store ~labeled (choosing (Int i)) (Int 0);
+      For
+        {
+          var = "j";
+          from_ = Int 0;
+          to_ = Int (n - 1);
+          body =
+            [
+              If
+                ( Ne (reg "j", Int i),
+                  [
+                    load ~labeled "c" (choosing (reg "j"));
+                    While
+                      ( Ne (reg "c", Int 0),
+                        [ load ~labeled "c" (choosing (reg "j")) ] );
+                    load ~labeled "other" (number (reg "j"));
+                    While
+                      ( And
+                          ( Ne (reg "other", Int 0),
+                            Or
+                              ( Lt (reg "other", reg "mine"),
+                                And
+                                  ( Eq (reg "other", reg "mine"),
+                                    Lt (reg "j", Int i) ) ) ),
+                        [ load ~labeled "other" (number (reg "j")) ] );
+                  ],
+                  [] );
+            ];
+        };
+      Cs_enter;
+      Cs_exit;
+      store ~labeled (number (Int i)) (Int 0);
+    ]
+  in
+  {
+    shared = [ ("choosing", n); ("number", n) ];
+    threads = Array.init n thread;
+  }
+
+let peterson ?(labeled = true) () =
+  let thread i =
+    let j = 1 - i in
+    [
+      store ~labeled (elt "flag" (Int i)) (Int 1);
+      store ~labeled (var "turn") (Int j);
+      load ~labeled "f" (elt "flag" (Int j));
+      load ~labeled "t" (var "turn");
+      While
+        ( And (Eq (reg "f", Int 1), Eq (reg "t", Int j)),
+          [
+            load ~labeled "f" (elt "flag" (Int j));
+            load ~labeled "t" (var "turn");
+          ] );
+      Cs_enter;
+      Cs_exit;
+      store ~labeled (elt "flag" (Int i)) (Int 0);
+    ]
+  in
+  { shared = [ ("flag", 2); ("turn", 1) ]; threads = Array.init 2 thread }
+
+let dekker ?(labeled = true) () =
+  let thread i =
+    let j = 1 - i in
+    [
+      store ~labeled (elt "flag" (Int i)) (Int 1);
+      load ~labeled "f" (elt "flag" (Int j));
+      While
+        ( Eq (reg "f", Int 1),
+          [
+            load ~labeled "t" (var "turn");
+            If
+              ( Ne (reg "t", Int i),
+                [
+                  store ~labeled (elt "flag" (Int i)) (Int 0);
+                  load ~labeled "t" (var "turn");
+                  While
+                    ( Ne (reg "t", Int i),
+                      [ load ~labeled "t" (var "turn") ] );
+                  store ~labeled (elt "flag" (Int i)) (Int 1);
+                ],
+                [] );
+            load ~labeled "f" (elt "flag" (Int j));
+          ] );
+      Cs_enter;
+      Cs_exit;
+      store ~labeled (var "turn") (Int j);
+      store ~labeled (elt "flag" (Int i)) (Int 0);
+    ]
+  in
+  { shared = [ ("flag", 2); ("turn", 1) ]; threads = Array.init 2 thread }
+
+let tas_spinlock () =
+  let thread _ =
+    [
+      Tas { reg = "got"; dst = var "lock" };
+      While (Ne (reg "got", Int 0), [ Tas { reg = "got"; dst = var "lock" } ]);
+      Cs_enter;
+      Cs_exit;
+      store ~labeled:true (var "lock") (Int 0);
+    ]
+  in
+  { shared = [ ("lock", 1) ]; threads = Array.init 2 thread }
+
+let naive_flags ?(labeled = true) () =
+  let thread i =
+    let j = 1 - i in
+    [
+      load ~labeled "f" (elt "flag" (Int j));
+      While (Eq (reg "f", Int 1), [ load ~labeled "f" (elt "flag" (Int j)) ]);
+      store ~labeled (elt "flag" (Int i)) (Int 1);
+      Cs_enter;
+      Cs_exit;
+      store ~labeled (elt "flag" (Int i)) (Int 0);
+    ]
+  in
+  { shared = [ ("flag", 2) ]; threads = Array.init 2 thread }

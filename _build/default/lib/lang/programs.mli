@@ -1,0 +1,30 @@
+(** Classic mutual-exclusion algorithms expressed in the language.
+
+    [~labeled:true] marks every synchronization access (the accesses to
+    the algorithms' own variables) as labeled — the "properly labeled"
+    reading used in §5 of the paper for release consistency.  Critical
+    and remainder sections contain no shared accesses, matching the
+    paper's assumptions. *)
+
+val bakery : ?labeled:bool -> n:int -> unit -> Ast.program
+(** Lamport's Bakery algorithm (Figure 6 of the paper) for [n]
+    processors, one critical-section entry per processor. *)
+
+val peterson : ?labeled:bool -> unit -> Ast.program
+(** Peterson's two-process algorithm. *)
+
+val dekker : ?labeled:bool -> unit -> Ast.program
+(** Dekker's two-process algorithm. *)
+
+val tas_spinlock : unit -> Ast.program
+(** A test-and-set spinlock: spin on [tas(lock)] until it returns 0,
+    enter, release by writing 0.  Read-modify-write operations are
+    atomic at the global serialization point (paper footnote 4), so
+    unlike the Bakery algorithm this lock is correct on every machine —
+    including TSO and RC_pc, where read/write-only mutual exclusion
+    fails. *)
+
+val naive_flags : ?labeled:bool -> unit -> Ast.program
+(** The broken "set my flag, check yours" protocol — a negative control
+    that violates mutual exclusion even on sequentially consistent
+    memory. *)

@@ -1,0 +1,1 @@
+lib/lattice/classify.ml: Array Enumerate Format List Printf Smem_core Smem_relation String

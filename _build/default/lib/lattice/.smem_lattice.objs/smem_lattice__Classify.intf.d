@@ -1,0 +1,1 @@
+lib/lattice/classify.mli: Enumerate Format Smem_core

@@ -1,0 +1,1 @@
+lib/lattice/distinguish.ml: Enumerate Format List Smem_core

@@ -1,0 +1,1 @@
+lib/lattice/distinguish.mli: Enumerate Format Smem_core

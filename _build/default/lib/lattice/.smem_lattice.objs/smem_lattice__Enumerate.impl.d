@@ -1,0 +1,1 @@
+lib/lattice/enumerate.ml: Array List Printf Smem_core

@@ -1,0 +1,1 @@
+lib/lattice/enumerate.mli: Smem_core

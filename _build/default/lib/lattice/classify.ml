@@ -1,0 +1,149 @@
+module Model = Smem_core.Model
+module H = Smem_core.History
+
+type relation = Equal | Stronger | Weaker | Incomparable
+
+type matrix = {
+  models : Model.t list;
+  total : int;
+  allowed_counts : int array;
+  only_in : int array array;
+  witness : H.t option array array;
+}
+
+let classify ~models config =
+  let models_arr = Array.of_list models in
+  let n = Array.length models_arr in
+  let total = ref 0 in
+  let allowed_counts = Array.make n 0 in
+  let only_in = Array.make_matrix n n 0 in
+  let witness = Array.init n (fun _ -> Array.make n None) in
+  Enumerate.iter config ~f:(fun h ->
+      incr total;
+      let allowed = Array.map (fun m -> Model.check m h) models_arr in
+      for i = 0 to n - 1 do
+        if allowed.(i) then begin
+          allowed_counts.(i) <- allowed_counts.(i) + 1;
+          for j = 0 to n - 1 do
+            if not allowed.(j) then begin
+              only_in.(i).(j) <- only_in.(i).(j) + 1;
+              if witness.(i).(j) = None then witness.(i).(j) <- Some h
+            end
+          done
+        end
+      done);
+  { models; total = !total; allowed_counts; only_in; witness }
+
+let merge a b =
+  if List.map (fun (m : Model.t) -> m.Model.key) a.models
+     <> List.map (fun (m : Model.t) -> m.Model.key) b.models
+  then invalid_arg "Classify.merge: model lists differ";
+  let n = List.length a.models in
+  {
+    models = a.models;
+    total = a.total + b.total;
+    allowed_counts = Array.map2 ( + ) a.allowed_counts b.allowed_counts;
+    only_in =
+      Array.init n (fun i -> Array.map2 ( + ) a.only_in.(i) b.only_in.(i));
+    witness =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              match a.witness.(i).(j) with
+              | Some _ as w -> w
+              | None -> b.witness.(i).(j)));
+  }
+
+let standard_scopes =
+  [
+    (* Figure 1 scope: 2x2 ops, two locations, one written value. *)
+    { Enumerate.procs = [ 2; 2 ]; nlocs = 2; max_value = 1; labeled = false };
+    (* Figure 2 scope: a writer, a forwarder, an observer. *)
+    { Enumerate.procs = [ 1; 2; 2 ]; nlocs = 2; max_value = 1; labeled = false };
+    (* Figure 3 scope: one location, two values, three ops each. *)
+    { Enumerate.procs = [ 3; 3 ]; nlocs = 1; max_value = 2; labeled = false };
+  ]
+
+let classify_scopes ~models scopes =
+  match List.map (classify ~models) scopes with
+  | [] -> invalid_arg "Classify.classify_scopes: no scopes"
+  | m :: rest -> List.fold_left merge m rest
+
+let relation m i j =
+  match (m.only_in.(i).(j), m.only_in.(j).(i)) with
+  | 0, 0 -> Equal
+  | 0, _ -> Stronger
+  | _, 0 -> Weaker
+  | _, _ -> Incomparable
+
+let hasse_edges m =
+  let n = List.length m.models in
+  let stronger i j = i <> j && relation m i j = Stronger in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if stronger i j then begin
+        let between = ref false in
+        for k = 0 to n - 1 do
+          if k <> i && k <> j && stronger i k && stronger k j then between := true
+        done;
+        if not !between then edges := (i, j) :: !edges
+      end
+    done
+  done;
+  List.rev !edges
+
+let model_key m i = (List.nth m.models i).Model.key
+
+let pp_summary ppf m =
+  let n = List.length m.models in
+  Format.fprintf ppf "@[<v>histories enumerated: %d@," m.total;
+  List.iteri
+    (fun i (model : Model.t) ->
+      Format.fprintf ppf "%-28s allows %d@," model.Model.name m.allowed_counts.(i))
+    m.models;
+  Format.fprintf ppf "@,pairwise relations:@,";
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let describe = function
+        | Equal -> "equivalent to"
+        | Stronger -> "strictly stronger than"
+        | Weaker -> "strictly weaker than"
+        | Incomparable -> "incomparable with"
+      in
+      Format.fprintf ppf "%-12s %s %-12s" (model_key m i)
+        (describe (relation m i j))
+        (model_key m j);
+      (match relation m i j with
+      | Incomparable | Weaker -> (
+          match m.witness.(i).(j) with
+          | Some h ->
+              Format.fprintf ppf "  (e.g. %s-only: %s)" (model_key m i)
+                (String.concat " | "
+                   (List.init (H.nprocs h) (fun p ->
+                        Format.asprintf "%a" (H.pp_ops h)
+                          (Array.to_list (H.proc_ops h p)))))
+          | None -> ())
+      | Equal | Stronger -> ());
+      Format.fprintf ppf "@,"
+    done
+  done;
+  Format.fprintf ppf "@,Hasse diagram (stronger -> weaker):@,";
+  List.iter
+    (fun (i, j) ->
+      Format.fprintf ppf "  %s -> %s@," (model_key m i) (model_key m j))
+    (hasse_edges m);
+  Format.fprintf ppf "@]"
+
+let to_dot m =
+  let nodes =
+    List.mapi
+      (fun i (model : Model.t) ->
+        (Printf.sprintf "m%d" i, Printf.sprintf "%s" model.Model.name))
+      m.models
+  in
+  let edges =
+    List.map
+      (fun (i, j) -> (Printf.sprintf "m%d" i, Printf.sprintf "m%d" j))
+      (hasse_edges m)
+  in
+  Smem_relation.Dot.of_edges ~name:"lattice" ~nodes ~edges ()

@@ -1,0 +1,47 @@
+(** Classify enumerated histories by model and compute the containment
+    structure — the empirical Figure 5. *)
+
+type relation = Equal | Stronger | Weaker | Incomparable
+(** Relation of model [i] to model [j] over the enumerated scope:
+    [Stronger] means [i]'s history set is strictly contained in [j]'s
+    (i gives the stronger guarantee). *)
+
+type matrix = {
+  models : Smem_core.Model.t list;
+  total : int;  (** histories enumerated *)
+  allowed_counts : int array;  (** histories allowed, per model *)
+  only_in : int array array;
+      (** [only_in.(i).(j)]: histories allowed by [i] but not by [j] *)
+  witness : Smem_core.History.t option array array;
+      (** a history allowed by [i] but not [j], when one exists *)
+}
+
+val classify :
+  models:Smem_core.Model.t list -> Enumerate.config -> matrix
+
+val merge : matrix -> matrix -> matrix
+(** Pointwise union of two classifications over the same model list
+    (sums counts, keeps the first witness found).
+    @raise Invalid_argument when the model lists differ. *)
+
+val standard_scopes : Enumerate.config list
+(** The sweep used to regenerate Figure 5: the union of these scopes
+    contains separating histories for every strict containment and
+    incomparability of the paper's diagram (each of Figures 1-3 fits in
+    one of them). *)
+
+val classify_scopes :
+  models:Smem_core.Model.t list -> Enumerate.config list -> matrix
+
+val relation : matrix -> int -> int -> relation
+
+val hasse_edges : matrix -> (int * int) list
+(** Edges [i -> j] of the transitive reduction of the strictly-stronger
+    relation: [i] strictly stronger than [j] with no model strictly
+    between. *)
+
+val pp_summary : Format.formatter -> matrix -> unit
+(** Counts, pairwise relations and Hasse edges, with witnesses named. *)
+
+val to_dot : matrix -> string
+(** Graphviz rendering of the Hasse diagram (strongest at the top). *)

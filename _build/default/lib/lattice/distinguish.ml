@@ -1,0 +1,49 @@
+module H = Smem_core.History
+module Model = Smem_core.Model
+
+type verdict =
+  | Equal
+  | A_stronger of H.t
+  | B_stronger of H.t
+  | Incomparable of H.t * H.t
+
+exception Found of H.t
+
+let separating ~allow ~forbid scopes =
+  try
+    List.iter
+      (fun scope ->
+        Enumerate.iter scope ~f:(fun h ->
+            if Model.check allow h && not (Model.check forbid h) then
+              raise (Found h)))
+      scopes;
+    None
+  with Found h -> Some h
+
+let compare ~a ~b scopes =
+  let a_only = separating ~allow:a ~forbid:b scopes in
+  let b_only = separating ~allow:b ~forbid:a scopes in
+  match (a_only, b_only) with
+  | None, None -> Equal
+  | None, Some w -> A_stronger w
+  | Some w, None -> B_stronger w
+  | Some wa, Some wb -> Incomparable (wa, wb)
+
+let pp_verdict ~a ~b ppf = function
+  | Equal ->
+      Format.fprintf ppf
+        "%s and %s allow the same histories over the searched scopes"
+        a.Model.key b.Model.key
+  | A_stronger w ->
+      Format.fprintf ppf
+        "%s is strictly stronger than %s;@ witness allowed only by %s:@.%a"
+        a.Model.key b.Model.key b.Model.key H.pp w
+  | B_stronger w ->
+      Format.fprintf ppf
+        "%s is strictly stronger than %s;@ witness allowed only by %s:@.%a"
+        b.Model.key a.Model.key a.Model.key H.pp w
+  | Incomparable (wa, wb) ->
+      Format.fprintf ppf
+        "%s and %s are incomparable;@.allowed only by %s:@.%a@.allowed only \
+         by %s:@.%a"
+        a.Model.key b.Model.key a.Model.key H.pp wa b.Model.key H.pp wb

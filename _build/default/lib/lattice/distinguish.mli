@@ -1,0 +1,37 @@
+(** Finding histories that separate two memory models — the §4/§7
+    workflow of the paper, automated: to show model [a] is not stronger
+    than model [b], exhibit a history allowed by [a] and forbidden by
+    [b]. *)
+
+type verdict =
+  | Equal  (** same history sets over the searched scopes *)
+  | A_stronger of Smem_core.History.t
+      (** [a] ⊊ [b]: the witness is allowed by [b], forbidden by [a] *)
+  | B_stronger of Smem_core.History.t
+      (** [b] ⊊ [a]: the witness is allowed by [a], forbidden by [b] *)
+  | Incomparable of Smem_core.History.t * Smem_core.History.t
+      (** (allowed by [a] not [b], allowed by [b] not [a]) *)
+
+val separating :
+  allow:Smem_core.Model.t ->
+  forbid:Smem_core.Model.t ->
+  Enumerate.config list ->
+  Smem_core.History.t option
+(** First history in the scopes allowed by [allow] and forbidden by
+    [forbid]. *)
+
+val compare :
+  a:Smem_core.Model.t ->
+  b:Smem_core.Model.t ->
+  Enumerate.config list ->
+  verdict
+(** Relate two models over the given scopes.  [Equal] is relative to
+    the scopes searched, of course; the other verdicts carry witnesses
+    and are definitive. *)
+
+val pp_verdict :
+  a:Smem_core.Model.t ->
+  b:Smem_core.Model.t ->
+  Format.formatter ->
+  verdict ->
+  unit

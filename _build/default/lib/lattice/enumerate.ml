@@ -1,0 +1,50 @@
+module H = Smem_core.History
+module Op = Smem_core.Op
+
+type config = { procs : int list; nlocs : int; max_value : int; labeled : bool }
+
+let default = { procs = [ 2; 2 ]; nlocs = 2; max_value = 1; labeled = false }
+
+let loc_names nlocs =
+  Array.init nlocs (fun i ->
+      match i with 0 -> "x" | 1 -> "y" | 2 -> "z" | n -> Printf.sprintf "l%d" n)
+
+(* Event choices for one operation slot. *)
+let slot_choices config =
+  let choices = ref [] in
+  let attrs = if config.labeled then [ false; true ] else [ false ] in
+  let names = loc_names config.nlocs in
+  for loc = 0 to config.nlocs - 1 do
+    List.iter
+      (fun labeled ->
+        for v = 1 to config.max_value do
+          choices := H.write ~labeled names.(loc) v :: !choices
+        done;
+        for v = 0 to config.max_value do
+          choices := H.read ~labeled names.(loc) v :: !choices
+        done)
+      attrs
+  done;
+  List.rev !choices
+
+let count config =
+  let per_slot = List.length (slot_choices config) in
+  let total_slots = List.fold_left ( + ) 0 config.procs in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow per_slot total_slots
+
+let iter config ~f =
+  let choices = slot_choices config in
+  (* Build per-processor rows slot by slot, processor-major. *)
+  let rec fill_proc remaining_slots row rows_rev procs_rest =
+    match (remaining_slots, procs_rest) with
+    | 0, [] -> f (H.make (List.rev (List.rev row :: rows_rev)))
+    | 0, n :: rest -> fill_proc n [] (List.rev row :: rows_rev) rest
+    | n, _ ->
+        List.iter
+          (fun event -> fill_proc (n - 1) (event :: row) rows_rev procs_rest)
+          choices
+  in
+  match config.procs with
+  | [] -> ()
+  | n :: rest -> fill_proc n [] [] rest

@@ -1,0 +1,29 @@
+(** Exhaustive enumeration of small histories.
+
+    A memory model {e is} its set of histories (§4), so the containment
+    lattice of Figure 5 can be recomputed by classifying every history
+    up to a size bound.  All of the paper's separating examples live
+    within tiny bounds (Figures 1–3 fit in two or three processors, two
+    locations, two values), so small scopes are decisive in practice.
+
+    Write values range over [1 .. max_value] (writing the initial value
+    0 only duplicates weaker histories); read values over
+    [0 .. max_value]. *)
+
+type config = {
+  procs : int list;  (** operations per processor, e.g. [[2; 2]] *)
+  nlocs : int;
+  max_value : int;
+  labeled : bool;  (** also enumerate the labeled/ordinary attribute *)
+}
+
+val default : config
+(** [{procs = [2; 2]; nlocs = 2; max_value = 1; labeled = false}] *)
+
+val count : config -> int
+(** Number of histories the configuration generates. *)
+
+val iter : config -> f:(Smem_core.History.t -> unit) -> unit
+
+val loc_names : int -> string array
+(** The location names used by the generator ([x], [y], [z], [l3]...). *)

@@ -1,0 +1,1 @@
+lib/litmus/parse.ml: Format List Printf Smem_core String Test

@@ -1,0 +1,1 @@
+lib/litmus/print.ml: Array Buffer Format List Printf Smem_core String Test

@@ -1,0 +1,1 @@
+lib/litmus/print.mli: Format Test

@@ -1,0 +1,1 @@
+lib/litmus/runner.ml: Format List Smem_core Test

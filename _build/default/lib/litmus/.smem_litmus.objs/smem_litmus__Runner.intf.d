@@ -1,0 +1,1 @@
+lib/litmus/runner.mli: Format Smem_core Test

@@ -1,0 +1,1 @@
+lib/litmus/test.ml: Format List Smem_core

@@ -1,0 +1,1 @@
+lib/litmus/test.mli: Format Smem_core

@@ -1,0 +1,32 @@
+(** The litmus corpus: the paper's Figures 1–4, the §5 Bakery
+    subhistories, and the classic tests of the memory-model literature,
+    each with expected verdicts per model.
+
+    Expected verdicts are ground truth from the paper where it states
+    them (Figures 1–4, §5) and from the standard literature otherwise;
+    the test suite checks every checker against every stated
+    expectation. *)
+
+val fig1_tso : Test.t
+(** Figure 1: the store-buffering history allowed by TSO, forbidden by
+    SC. *)
+
+val fig2_pc_not_tso : Test.t
+(** Figure 2: allowed by PC, forbidden by TSO. *)
+
+val fig3_pram_not_tso : Test.t
+(** Figure 3: allowed by PRAM (and causal memory), forbidden by TSO and
+    by any coherent memory. *)
+
+val fig4_causal_not_tso : Test.t
+(** Figure 4: allowed by causal memory, forbidden by TSO. *)
+
+val bakery_rcpc_violation : Test.t
+(** §5: the two-processor Bakery entry-section subhistories in which
+    both processors pass their checks and enter the critical section —
+    allowed by RC_pc, forbidden by RC_sc. *)
+
+val all : Test.t list
+(** Every corpus test, paper figures first. *)
+
+val find : string -> Test.t option

@@ -1,0 +1,36 @@
+module H = Smem_core.History
+module Op = Smem_core.Op
+
+let event_to_string h (op : Op.t) =
+  let k = match op.Op.kind with Op.Read -> "r" | Op.Write -> "w" in
+  let star = match op.Op.attr with Op.Ordinary -> "" | Op.Labeled -> "*" in
+  let timing =
+    match H.interval h op.Op.id with
+    | Some (s, f) -> Printf.sprintf " @ %d %d" s f
+    | None -> ""
+  in
+  Printf.sprintf "%s%s %s %d%s" k star (H.loc_name h op.Op.loc) op.Op.value timing
+
+let to_string (t : Test.t) =
+  let h = t.Test.history in
+  let buf = Buffer.create 256 in
+  if t.Test.doc = "" then Buffer.add_string buf (Printf.sprintf "test %s\n" t.Test.name)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "test %s \"%s\"\n" t.Test.name t.Test.doc);
+  for p = 0 to H.nprocs h - 1 do
+    let events =
+      H.proc_ops h p |> Array.to_list
+      |> List.map (fun id -> event_to_string h (H.op h id))
+    in
+    Buffer.add_string buf (Printf.sprintf "p%d: %s\n" p (String.concat " ; " events))
+  done;
+  List.iter
+    (fun (key, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "expect %s %s\n" key
+           (match v with Test.Allowed -> "allowed" | Test.Forbidden -> "forbidden")))
+    t.Test.expectations;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,8 @@
+(** Printer for the [smem] litmus format — the inverse of {!Parse}. *)
+
+val to_string : Test.t -> string
+(** Render a test in the format accepted by {!Parse.test_of_string};
+    [Parse.test_of_string (to_string t)] reproduces [t] up to location
+    interning order. *)
+
+val pp : Format.formatter -> Test.t -> unit

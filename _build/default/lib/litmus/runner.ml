@@ -1,0 +1,54 @@
+module Model = Smem_core.Model
+
+type result = {
+  test : Test.t;
+  model : Model.t;
+  got : Test.verdict;
+  expected : Test.verdict option;
+}
+
+let agrees r = match r.expected with None -> true | Some e -> e = r.got
+
+let run_test ~models test =
+  List.map
+    (fun model ->
+      {
+        test;
+        model;
+        got = Test.verdict_of_bool (Model.check model test.Test.history);
+        expected = Test.expected test model.Model.key;
+      })
+    models
+
+let run_all ~models tests = List.concat_map (run_test ~models) tests
+
+let mismatches results = List.filter (fun r -> not (agrees r)) results
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-16s %-10s %a%s" r.test.Test.name r.model.Model.key
+    Test.pp_verdict r.got
+    (match r.expected with
+    | Some e when e <> r.got ->
+        Format.asprintf "  (MISMATCH: expected %a)" Test.pp_verdict e
+    | _ -> "")
+
+let pp_matrix ~models ppf tests =
+  let cell test (model : Model.t) =
+    let got = Test.verdict_of_bool (Model.check model test.Test.history) in
+    let mark =
+      match Test.expected test model.Model.key with
+      | Some e when e <> got -> "!"
+      | Some _ -> ""
+      | None -> " "
+    in
+    (match got with Test.Allowed -> "yes" | Test.Forbidden -> "no") ^ mark
+  in
+  Format.fprintf ppf "%-16s" "test";
+  List.iter (fun (m : Model.t) -> Format.fprintf ppf " %-10s" m.Model.key) models;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun test ->
+      Format.fprintf ppf "%-16s" test.Test.name;
+      List.iter (fun m -> Format.fprintf ppf " %-10s" (cell test m)) models;
+      Format.fprintf ppf "@.")
+    tests

@@ -1,0 +1,30 @@
+(** Running litmus tests against models and tabulating verdicts. *)
+
+type result = {
+  test : Test.t;
+  model : Smem_core.Model.t;
+  got : Test.verdict;  (** what the checker decided *)
+  expected : Test.verdict option;  (** the test's stated expectation *)
+}
+
+val agrees : result -> bool
+(** [true] when there is no stated expectation or the checker agrees
+    with it. *)
+
+val run_test : models:Smem_core.Model.t list -> Test.t -> result list
+(** Check one test against each model (in the given order). *)
+
+val run_all :
+  models:Smem_core.Model.t list -> Test.t list -> result list
+
+val mismatches : result list -> result list
+
+val pp_result : Format.formatter -> result -> unit
+
+val pp_matrix :
+  models:Smem_core.Model.t list ->
+  Format.formatter ->
+  Test.t list ->
+  unit
+(** A test × model verdict table, marking disagreements with the stated
+    expectations. *)

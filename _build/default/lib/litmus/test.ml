@@ -1,0 +1,20 @@
+type verdict = Allowed | Forbidden
+
+type t = {
+  name : string;
+  doc : string;
+  history : Smem_core.History.t;
+  expectations : (string * verdict) list;
+}
+
+let make ~name ?(doc = "") ~expect rows =
+  { name; doc; history = Smem_core.History.make rows; expectations = expect }
+
+let expected t key = List.assoc_opt key t.expectations
+
+let pp_verdict ppf = function
+  | Allowed -> Format.pp_print_string ppf "allowed"
+  | Forbidden -> Format.pp_print_string ppf "forbidden"
+
+let verdict_of_bool b = if b then Allowed else Forbidden
+let bool_of_verdict = function Allowed -> true | Forbidden -> false

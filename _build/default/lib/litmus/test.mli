@@ -1,0 +1,30 @@
+(** A litmus test: a named history with per-model expected verdicts.
+
+    Verdicts name model keys from {!Smem_core.Registry}; a test need
+    not state an expectation for every model — unstated models are
+    simply not checked against ground truth. *)
+
+type verdict = Allowed | Forbidden
+
+type t = {
+  name : string;
+  doc : string;
+  history : Smem_core.History.t;
+  expectations : (string * verdict) list;  (** model key -> verdict *)
+}
+
+val make :
+  name:string ->
+  ?doc:string ->
+  expect:(string * verdict) list ->
+  Smem_core.History.event list list ->
+  t
+(** Build a test from per-processor event rows (see
+    {!Smem_core.History.make}). *)
+
+val expected : t -> string -> verdict option
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val verdict_of_bool : bool -> verdict
+val bool_of_verdict : verdict -> bool

@@ -1,0 +1,1 @@
+lib/machine/causal_machine.ml: Array Fun Funarray List

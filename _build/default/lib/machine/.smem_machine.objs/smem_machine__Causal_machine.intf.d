@@ -1,0 +1,1 @@
+lib/machine/causal_machine.mli: Machine_sig

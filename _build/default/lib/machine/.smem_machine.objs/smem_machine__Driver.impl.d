@@ -1,0 +1,1 @@
+lib/machine/driver.ml: Array Fun Funarray Hashtbl List Machine_sig Random Smem_core

@@ -1,0 +1,1 @@
+lib/machine/driver.mli: Machine_sig Random Smem_core

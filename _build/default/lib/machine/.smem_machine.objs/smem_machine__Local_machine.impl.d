@@ -1,0 +1,1 @@
+lib/machine/local_machine.ml: Array Fun Funarray List

@@ -1,0 +1,1 @@
+lib/machine/local_machine.mli: Machine_sig

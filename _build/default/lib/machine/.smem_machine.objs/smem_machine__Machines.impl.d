@@ -1,0 +1,1 @@
+lib/machine/machines.ml: Causal_machine List Local_machine Machine_sig Pcg_machine Pram_machine Rc_machine Sc_machine Slow_machine Tso_machine

@@ -1,0 +1,1 @@
+lib/machine/machines.mli: Machine_sig

@@ -1,0 +1,1 @@
+lib/machine/pcg_machine.ml: Array Fun Funarray List

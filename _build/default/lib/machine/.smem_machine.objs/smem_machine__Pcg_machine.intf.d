@@ -1,0 +1,1 @@
+lib/machine/pcg_machine.mli: Machine_sig

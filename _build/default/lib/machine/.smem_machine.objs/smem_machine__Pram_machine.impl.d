@@ -1,0 +1,1 @@
+lib/machine/pram_machine.ml: Array Fun Funarray List

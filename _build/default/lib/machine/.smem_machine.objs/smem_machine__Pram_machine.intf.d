@@ -1,0 +1,1 @@
+lib/machine/pram_machine.mli: Machine_sig

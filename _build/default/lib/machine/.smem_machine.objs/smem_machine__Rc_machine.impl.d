@@ -1,0 +1,1 @@
+lib/machine/rc_machine.ml: Array Fun Funarray List

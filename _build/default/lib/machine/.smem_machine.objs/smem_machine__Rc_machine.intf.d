@@ -1,0 +1,1 @@
+lib/machine/rc_machine.mli: Machine_sig

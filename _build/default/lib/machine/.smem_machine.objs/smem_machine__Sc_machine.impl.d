@@ -1,0 +1,1 @@
+lib/machine/sc_machine.ml: Array Funarray

@@ -1,0 +1,1 @@
+lib/machine/sc_machine.mli: Machine_sig

@@ -1,0 +1,1 @@
+lib/machine/slow_machine.ml: Array Funarray List

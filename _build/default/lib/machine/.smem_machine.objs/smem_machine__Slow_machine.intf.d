@@ -1,0 +1,1 @@
+lib/machine/slow_machine.mli: Machine_sig

@@ -1,0 +1,1 @@
+lib/machine/tso_machine.ml: Array Fun Funarray List

@@ -1,0 +1,1 @@
+lib/machine/tso_machine.mli: Machine_sig

@@ -1,0 +1,4 @@
+(** See the implementation header for the machine's semantics; the
+    interface is exactly {!Machine_sig.MACHINE}. *)
+
+include Machine_sig.MACHINE

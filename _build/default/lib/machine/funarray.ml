@@ -1,0 +1,13 @@
+let set a i v =
+  let a' = Array.copy a in
+  a'.(i) <- v;
+  a'
+
+let set_row m i row =
+  let m' = Array.copy m in
+  m'.(i) <- row;
+  m'
+
+let set2 m i j v = set_row m i (set m.(i) j v)
+
+let make2 rows cols v = Array.init rows (fun _ -> Array.make cols v)

@@ -1,0 +1,17 @@
+(** Persistent-update helpers over immutable [int array] values: every
+    "update" copies.  The machine simulators keep their state in these
+    so that exploration can branch without interference; the arrays are
+    tiny (processors × locations), so copying is cheap. *)
+
+val set : int array -> int -> int -> int array
+(** [set a i v] is a copy of [a] with [a.(i) = v]. *)
+
+val set2 : int array array -> int -> int -> int -> int array array
+(** [set2 m i j v] is a copy of [m] with [m.(i).(j) = v]; only row [i]
+    is copied. *)
+
+val set_row : 'a array -> int -> 'a -> 'a array
+(** [set_row m i row] is a copy of [m] with row [i] replaced. *)
+
+val make2 : int -> int -> int -> int array array
+(** [make2 rows cols v] — fresh matrix filled with [v]. *)

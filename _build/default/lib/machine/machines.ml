@@ -1,0 +1,18 @@
+let all : Machine_sig.machine list =
+  [
+    (module Sc_machine);
+    (module Tso_machine);
+    (module Pcg_machine);
+    (module Causal_machine);
+    (module Pram_machine);
+    (module Slow_machine);
+    (module Local_machine);
+    (module Rc_machine.Sc_flavor);
+    (module Rc_machine.Pc_flavor);
+  ]
+
+let name (module M : Machine_sig.MACHINE) = M.name
+
+let model_key (module M : Machine_sig.MACHINE) = M.model_key
+
+let find key = List.find_opt (fun m -> name m = key) all

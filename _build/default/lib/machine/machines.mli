@@ -1,0 +1,12 @@
+(** Catalogue of the operational machines, as first-class modules. *)
+
+val all : Machine_sig.machine list
+(** Every machine: SC, TSO, PC-G, causal, PRAM, slow, local, RC_sc,
+    RC_pc. *)
+
+val find : string -> Machine_sig.machine option
+(** Look up by machine name ([sc], [tso], [pc-g], [causal], [pram],
+    [slow], [local], [rc-sc], [rc-pc]). *)
+
+val name : Machine_sig.machine -> string
+val model_key : Machine_sig.machine -> string

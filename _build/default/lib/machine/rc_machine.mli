@@ -1,0 +1,13 @@
+(** DASH-like release-consistency machines, one per §3.4 flavor; see
+    the implementation header for the operational semantics. *)
+
+type flavor = Sc | Pc
+
+module Sc_flavor : Machine_sig.MACHINE
+(** Releases flush the releaser's pending updates and apply globally
+    atomically: labeled operations are sequentially consistent. *)
+
+module Pc_flavor : Machine_sig.MACHINE
+(** Releases propagate like ordinary writes (per-sender FIFO +
+    coherence): labeled operations are only processor consistent — the
+    machine on which the Bakery algorithm breaks. *)

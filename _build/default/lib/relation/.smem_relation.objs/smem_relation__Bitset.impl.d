@@ -1,0 +1,1 @@
+lib/relation/bitset.ml: Array Format List Sys

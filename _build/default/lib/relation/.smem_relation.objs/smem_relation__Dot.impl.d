@@ -1,0 +1,1 @@
+lib/relation/dot.ml: Buffer List Printf Rel String

@@ -1,0 +1,36 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_rel ?(name = "g") ~label rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for a = 0 to Rel.size rel - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" a (escape (label a)))
+  done;
+  Rel.iter_pairs
+    (fun a b -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a b))
+    rel;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_edges ?(name = "g") ~nodes ~edges () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun (id, label) ->
+      Buffer.add_string buf (Printf.sprintf "  %s [label=\"%s\"];\n" id (escape label)))
+    nodes;
+  List.iter
+    (fun (src, dst) -> Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" src dst))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Minimal Graphviz DOT rendering for relations and abstract digraphs,
+    used by the CLI ([smem lattice --dot]) and the lattice module. *)
+
+val of_rel :
+  ?name:string -> label:(int -> string) -> Rel.t -> string
+(** Render a relation as a directed graph; [label] names each node. *)
+
+val of_edges :
+  ?name:string ->
+  nodes:(string * string) list ->
+  edges:(string * string) list ->
+  unit ->
+  string
+(** [of_edges ~nodes ~edges ()] renders a digraph from explicit
+    (id, label) nodes and (src, dst) edges. *)

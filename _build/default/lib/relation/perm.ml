@@ -1,0 +1,63 @@
+let iter_permutations items ~f =
+  let n = Array.length items in
+  let work = Array.copy items in
+  let swap i j =
+    let tmp = work.(i) in
+    work.(i) <- work.(j);
+    work.(j) <- tmp
+  in
+  (* Heap-style recursive generation with in-place swaps. *)
+  let rec go depth =
+    if depth = n then f work
+    else begin
+      let accepted = ref false in
+      let i = ref depth in
+      while (not !accepted) && !i < n do
+        swap depth !i;
+        if go (depth + 1) then accepted := true;
+        swap depth !i;
+        incr i
+      done;
+      !accepted
+    end
+  in
+  go 0
+
+let iter_constrained items ~precedes ~f =
+  let n = Array.length items in
+  let out = Array.make n (-1) in
+  let used = Array.make n false in
+  (* [a] is ready at a step when every mandatory predecessor among the
+     remaining items is already placed. *)
+  let ready i =
+    let ok = ref true in
+    for j = 0 to n - 1 do
+      if (not used.(j)) && j <> i && precedes items.(j) items.(i) then ok := false
+    done;
+    !ok
+  in
+  let rec go depth =
+    if depth = n then f out
+    else begin
+      let accepted = ref false in
+      let i = ref 0 in
+      while (not !accepted) && !i < n do
+        if (not used.(!i)) && ready !i then begin
+          used.(!i) <- true;
+          out.(depth) <- items.(!i);
+          if go (depth + 1) then accepted := true;
+          used.(!i) <- false
+        end;
+        incr i
+      done;
+      !accepted
+    end
+  in
+  go 0
+
+let product choice_lists ~f =
+  let rec go acc = function
+    | [] -> f (List.rev acc)
+    | choices :: rest -> List.exists (fun c -> go (c :: acc) rest) choices
+  in
+  go [] choice_lists

@@ -1,0 +1,22 @@
+(** Enumeration of permutations, optionally constrained by a precedence
+    relation.  Used to enumerate coherence orders (per-location write
+    serializations) and global write serializations in the memory-model
+    checkers. *)
+
+val iter_permutations : 'a array -> f:('a array -> bool) -> bool
+(** [iter_permutations items ~f] calls [f] on every permutation of
+    [items].  Stops early — returning [true] — when [f] returns [true];
+    returns [false] otherwise.  The array given to [f] is reused. *)
+
+val iter_constrained :
+  int array -> precedes:(int -> int -> bool) -> f:(int array -> bool) -> bool
+(** [iter_constrained items ~precedes ~f] enumerates permutations of
+    [items] (which must be distinct) in which [a] appears before [b]
+    whenever [precedes a b].  Pruning happens during construction, so
+    heavily constrained inputs enumerate far fewer than [n!] candidates.
+    Early-exit protocol as in {!iter_permutations}. *)
+
+val product : 'a list list -> f:('a list -> bool) -> bool
+(** [product choice_lists ~f] enumerates the cartesian product of the
+    choice lists, calling [f] on each selection (one element per list,
+    in order).  Early-exit protocol as in {!iter_permutations}. *)

@@ -1,0 +1,1 @@
+test/helpers/helpers.ml: Array Format Hashtbl List Printf QCheck Smem_core Smem_machine Smem_relation String

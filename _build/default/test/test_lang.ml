@@ -1,0 +1,411 @@
+(* Tests of the little concurrent language and its explorer: expression
+   evaluation, local stepping, layouts, and the mutual-exclusion results
+   of §5 (Bakery safe on RC_sc, broken on RC_pc) plus the classical
+   TSO failures of Peterson/Dekker. *)
+
+module Ast = Smem_lang.Ast
+module Exec = Smem_lang.Exec
+module Explore = Smem_lang.Explore
+module Programs = Smem_lang.Programs
+module Machines = Smem_machine.Machines
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let machine key =
+  match Machines.find key with
+  | Some m -> m
+  | None -> Alcotest.failf "unknown machine %s" key
+
+(* ---------------- expressions and environments ---------------- *)
+
+let env_semantics () =
+  let env = Exec.Env.empty in
+  check Alcotest.int "unset reads 0" 0 (Exec.Env.get env "r");
+  let env = Exec.Env.set env "b" 2 in
+  let env = Exec.Env.set env "a" 1 in
+  let env = Exec.Env.set env "b" 3 in
+  check Alcotest.int "get a" 1 (Exec.Env.get env "a");
+  check Alcotest.int "overwrite b" 3 (Exec.Env.get env "b");
+  (* canonical representation: insertion order doesn't matter *)
+  let env2 = Exec.Env.set (Exec.Env.set Exec.Env.empty "a" 1) "b" 3 in
+  check Alcotest.bool "canonical" true
+    (Exec.Env.bindings env = Exec.Env.bindings env2)
+
+let eval_expressions () =
+  let env = Exec.Env.set Exec.Env.empty "x" 5 in
+  let cases =
+    [
+      (Ast.Int 3, 3);
+      (Ast.Reg "x", 5);
+      (Ast.Add (Ast.Int 1, Ast.Reg "x"), 6);
+      (Ast.Sub (Ast.Reg "x", Ast.Int 2), 3);
+      (Ast.Mul (Ast.Int 2, Ast.Int 3), 6);
+      (Ast.Eq (Ast.Reg "x", Ast.Int 5), 1);
+      (Ast.Ne (Ast.Reg "x", Ast.Int 5), 0);
+      (Ast.Lt (Ast.Int 1, Ast.Int 2), 1);
+      (Ast.Le (Ast.Int 2, Ast.Int 2), 1);
+      (Ast.And (Ast.Int 1, Ast.Int 0), 0);
+      (Ast.Or (Ast.Int 1, Ast.Int 0), 1);
+      (Ast.Not (Ast.Int 0), 1);
+    ]
+  in
+  List.iteri
+    (fun i (e, expected) ->
+      check Alcotest.int (Printf.sprintf "case %d" i) expected (Exec.eval env e))
+    cases
+
+(* ---------------- layout ---------------- *)
+
+let layout_flattening () =
+  let program =
+    { Ast.shared = [ ("flag", 2); ("turn", 1) ]; threads = [| [] |] }
+  in
+  let l = Ast.layout program in
+  check Alcotest.int "nlocs" 3 (Ast.nlocs l);
+  check Alcotest.int "flag[1]" 1 (Ast.loc_id l "flag" 1);
+  check Alcotest.int "turn" 2 (Ast.loc_id l "turn" 0);
+  check Alcotest.string "names" "flag[1]" (Ast.loc_names l).(1);
+  check Alcotest.string "scalar name" "turn" (Ast.loc_names l).(2);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Ast.loc_id: flag[2] out of bounds") (fun () ->
+      ignore (Ast.loc_id l "flag" 2))
+
+(* ---------------- local stepping ---------------- *)
+
+let stepping () =
+  let program = { Ast.shared = [ ("x", 1) ]; threads = [| [] |] } in
+  let layout = Ast.layout program in
+  let cont =
+    [
+      Ast.Assign ("a", Ast.Int 2);
+      Ast.If
+        ( Ast.Eq (Ast.Reg "a", Ast.Int 2),
+          [ Ast.store (Ast.var "x") (Ast.Reg "a") ],
+          [] );
+    ]
+  in
+  match Exec.step_to_action layout ~env:Exec.Env.empty ~cont ~fuel:100 with
+  | Exec.At_action (Exec.A_store { loc; value; labeled }, _, rest) ->
+      check Alcotest.int "loc" 0 loc;
+      check Alcotest.int "value" 2 value;
+      check Alcotest.bool "ordinary" false labeled;
+      check Alcotest.int "continuation" 0 (List.length rest)
+  | _ -> Alcotest.fail "expected a store action"
+
+let stepping_loops () =
+  let program = { Ast.shared = [ ("x", 1) ]; threads = [| [] |] } in
+  let layout = Ast.layout program in
+  (* a for loop that sums 1..3 into r, then terminates *)
+  let cont =
+    [
+      Ast.For
+        {
+          var = "i";
+          from_ = Ast.Int 1;
+          to_ = Ast.Int 3;
+          body = [ Ast.Assign ("r", Ast.Add (Ast.Reg "r", Ast.Reg "i")) ];
+        };
+    ]
+  in
+  (match Exec.step_to_action layout ~env:Exec.Env.empty ~cont ~fuel:100 with
+  | Exec.Finished env -> check Alcotest.int "sum" 6 (Exec.Env.get env "r")
+  | _ -> Alcotest.fail "expected termination");
+  (* fuel exhaustion on a memory-free loop *)
+  let spin = [ Ast.While (Ast.Int 1, [ Ast.Assign ("a", Ast.Int 1) ]) ] in
+  match Exec.step_to_action layout ~env:Exec.Env.empty ~cont:spin ~fuel:50 with
+  | Exec.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+(* ---------------- mutual exclusion ---------------- *)
+
+let is_safe = function Explore.Safe _ -> true | _ -> false
+let is_violation = function Explore.Violation _ -> true | _ -> false
+
+let mutex_expect name program machine_key expect_safe () =
+  ignore name;
+  let verdict = Explore.check_mutex (machine machine_key) program in
+  if expect_safe then
+    check Alcotest.bool (machine_key ^ " safe") true (is_safe verdict)
+  else check Alcotest.bool (machine_key ^ " violated") true (is_violation verdict)
+
+let mutex_cases =
+  [
+    (* The §5 headline: the Bakery algorithm distinguishes RC_sc from
+       RC_pc. *)
+    tc "bakery(2) safe on sc" (mutex_expect "bakery" (Programs.bakery ~n:2 ()) "sc" true);
+    tc "bakery(2) safe on rc-sc"
+      (mutex_expect "bakery" (Programs.bakery ~n:2 ()) "rc-sc" true);
+    tc "bakery(2) VIOLATED on rc-pc"
+      (mutex_expect "bakery" (Programs.bakery ~n:2 ()) "rc-pc" false);
+    tc "bakery(2) violated on tso"
+      (mutex_expect "bakery" (Programs.bakery ~n:2 ()) "tso" false);
+    tc "bakery(2) violated on pram"
+      (mutex_expect "bakery" (Programs.bakery ~n:2 ()) "pram" false);
+    tc "peterson safe on sc" (mutex_expect "peterson" (Programs.peterson ()) "sc" true);
+    tc "peterson violated on tso"
+      (mutex_expect "peterson" (Programs.peterson ()) "tso" false);
+    tc "dekker safe on sc" (mutex_expect "dekker" (Programs.dekker ()) "sc" true);
+    tc "dekker violated on tso"
+      (mutex_expect "dekker" (Programs.dekker ()) "tso" false);
+    tc "naive flags violated even on sc"
+      (mutex_expect "naive" (Programs.naive_flags ()) "sc" false);
+    tc "bakery(3) safe on sc"
+      (mutex_expect "bakery" (Programs.bakery ~n:3 ()) "sc" true);
+    (* All three read/write-only algorithms survive RC_sc and break on
+       RC_pc: the §5 separation is not specific to the Bakery
+       algorithm. *)
+    tc "peterson safe on rc-sc"
+      (mutex_expect "peterson" (Programs.peterson ()) "rc-sc" true);
+    tc "peterson violated on rc-pc"
+      (mutex_expect "peterson" (Programs.peterson ()) "rc-pc" false);
+    tc "dekker safe on rc-sc"
+      (mutex_expect "dekker" (Programs.dekker ()) "rc-sc" true);
+    tc "dekker violated on rc-pc"
+      (mutex_expect "dekker" (Programs.dekker ()) "rc-pc" false);
+  ]
+
+(* The converse of the §5 moral: a read-modify-write lock is safe on
+   every machine, including the ones where the Bakery algorithm and
+   Peterson's break. *)
+let spinlock_cases =
+  List.map
+    (fun key ->
+      tc
+        (Printf.sprintf "tas spinlock safe on %s" key)
+        (mutex_expect "spinlock" (Programs.tas_spinlock ()) key true))
+    [ "sc"; "tso"; "pc-g"; "causal"; "pram"; "rc-sc"; "rc-pc" ]
+
+(* ---------------- liveness ---------------- *)
+
+(* §5 recalls that Bakery under SC is free from deadlocks; here that is
+   the property that every reachable state can still reach
+   termination. *)
+let deadlock_freedom () =
+  let is_free prog m =
+    match Explore.check_deadlock_freedom (machine m) prog with
+    | Explore.Deadlock_free _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "bakery(2) deadlock-free on sc" true
+    (is_free (Programs.bakery ~n:2 ()) "sc");
+  check Alcotest.bool "bakery(2) deadlock-free on rc-sc" true
+    (is_free (Programs.bakery ~n:2 ()) "rc-sc");
+  check Alcotest.bool "peterson deadlock-free on sc" true
+    (is_free (Programs.peterson ()) "sc");
+  check Alcotest.bool "dekker deadlock-free on sc" true
+    (is_free (Programs.dekker ()) "sc");
+  check Alcotest.bool "spinlock deadlock-free on rc-pc" true
+    (is_free (Programs.tas_spinlock ()) "rc-pc");
+  (* negative control: a spin on a flag nobody sets *)
+  let stuck =
+    {
+      Ast.shared = [ ("x", 1) ];
+      threads =
+        [|
+          [
+            Ast.load "f" (Ast.var "x");
+            Ast.While
+              (Ast.Eq (Ast.Reg "f", Ast.Int 0), [ Ast.load "f" (Ast.var "x") ]);
+          ];
+        |];
+    }
+  in
+  match Explore.check_deadlock_freedom (machine "sc") stuck with
+  | Explore.Stuck n -> check Alcotest.bool "dead states found" true (n > 0)
+  | _ -> Alcotest.fail "expected stuck states"
+
+(* ---------------- concrete syntax ---------------- *)
+
+let parse_ok src =
+  match Smem_lang.Parse_prog.program_of_string src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Smem_lang.Parse_prog.pp_error e
+
+let parse_err src =
+  match Smem_lang.Parse_prog.program_of_string src with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let prog_parse_basics () =
+  let p =
+    parse_ok
+      "shared x
+shared a[3]
+thread 0 {
+  r := 1 + 2 * 3
+  store* x := r
+         load v <- a[r - 6]
+  enter
+  exit
+}
+"
+  in
+  check Alcotest.int "one thread" 1 (Array.length p.Ast.threads);
+  check Alcotest.int "two arrays" 2 (List.length p.Ast.shared);
+  (match p.Ast.threads.(0) with
+  | [ Ast.Assign ("r", e); Ast.Store { labeled = true; _ };
+      Ast.Load { labeled = false; _ }; Ast.Cs_enter; Ast.Cs_exit ] ->
+      check Alcotest.int "precedence" 7 (Exec.eval Exec.Env.empty e)
+  | _ -> Alcotest.fail "unexpected statement shape");
+  (* structured statements *)
+  let p2 =
+    parse_ok
+      "shared x
+thread 0 {
+  if a == 0 { b := 1 } else { b := 2 }
+  while        b != 0 { b := b - 1 }
+  for i = 0 to 3 { c := c + i }
+}
+"
+  in
+  check Alcotest.int "three statements" 3 (List.length p2.Ast.threads.(0))
+
+let prog_parse_errors () =
+  let e = parse_err "thread 1 {
+}
+" in
+  check Alcotest.int "thread numbering" 1 e.Smem_lang.Parse_prog.line;
+  let e2 = parse_err "shared x
+shared x
+thread 0 {}
+" in
+  check Alcotest.int "duplicate shared" 2 e2.Smem_lang.Parse_prog.line;
+  let e3 = parse_err "shared x
+thread 0 {
+  store x 1
+}
+" in
+  check Alcotest.int "missing :=" 3 e3.Smem_lang.Parse_prog.line;
+  let e4 = parse_err "" in
+  check Alcotest.bool "empty input rejected" true (e4.Smem_lang.Parse_prog.line >= 1)
+
+(* Printing then reparsing the whole program library preserves the AST
+   and, more importantly, the behaviour. *)
+let prog_roundtrip () =
+  List.iter
+    (fun (name, p) ->
+      let printed = Smem_lang.Print_prog.to_string p in
+      let p' = parse_ok printed in
+      check Alcotest.bool (name ^ " AST round-trips") true (p = p'))
+    [
+      ("bakery", Programs.bakery ~n:2 ());
+      ("bakery3", Programs.bakery ~n:3 ());
+      ("peterson", Programs.peterson ());
+      ("dekker", Programs.dekker ());
+      ("naive", Programs.naive_flags ());
+      ("spinlock", Programs.tas_spinlock ());
+    ]
+
+(* ---------------- races and the properly-labeled condition ---------------- *)
+
+let race_verdicts () =
+  let is_free p =
+    match Smem_lang.Races.find_race p with
+    | Smem_lang.Races.Race_free _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "bakery labeled is properly labeled" true
+    (is_free (Programs.bakery ~n:2 ()));
+  check Alcotest.bool "bakery unlabeled races" false
+    (is_free (Programs.bakery ~labeled:false ~n:2 ()));
+  check Alcotest.bool "peterson labeled is properly labeled" true
+    (is_free (Programs.peterson ()));
+  check Alcotest.bool "peterson unlabeled races" false
+    (is_free (Programs.peterson ~labeled:false ()));
+  check Alcotest.bool "dekker labeled is properly labeled" true
+    (is_free (Programs.dekker ()));
+  check Alcotest.bool "tas spinlock is race-free" true
+    (is_free (Programs.tas_spinlock ()));
+  (* properly labeled does not mean correct: the naive protocol is
+     race-free when labeled yet violates mutual exclusion even on SC. *)
+  check Alcotest.bool "naive labeled is race-free" true
+    (is_free (Programs.naive_flags ()));
+  match Smem_lang.Races.find_race (Programs.peterson ~labeled:false ()) with
+  | Smem_lang.Races.Race (a, b) ->
+      check Alcotest.bool "race is conflicting" true
+        (a.Smem_lang.Races.loc = b.Smem_lang.Races.loc);
+      check Alcotest.bool "race has an ordinary participant" true
+        ((not a.Smem_lang.Races.labeled) || not b.Smem_lang.Races.labeled)
+  | _ -> Alcotest.fail "expected a race"
+
+(* The DRF guarantee of §1 (Gibbons-Merritt-Gharachorloo, for RC_sc):
+   properly labeled programs behave as on SC.  Checked here on the
+   mutual-exclusion verdicts of every properly labeled program in the
+   library, on the RC_sc machine. *)
+let drf_guarantee () =
+  let sc_verdict p = Explore.check_mutex (machine "sc") p in
+  let rcsc_verdict p = Explore.check_mutex (machine "rc-sc") p in
+  let same p =
+    match (sc_verdict p, rcsc_verdict p) with
+    | Explore.Safe _, Explore.Safe _ -> true
+    | Explore.Violation _, Explore.Violation _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun (name, p) ->
+      check Alcotest.bool
+        (name ^ ": properly labeled implies same verdict on rc-sc")
+        true
+        (Smem_lang.Races.properly_labeled p && same p))
+    [
+      ("bakery", Programs.bakery ~n:2 ());
+      ("peterson", Programs.peterson ());
+      ("dekker", Programs.dekker ());
+      ("naive", Programs.naive_flags ());
+      ("spinlock", Programs.tas_spinlock ());
+    ]
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let violation_trace_structure () =
+  match Explore.check_mutex (machine "tso") (Programs.peterson ()) with
+  | Explore.Violation trace ->
+      let enters =
+        List.filter (fun s -> string_contains s "enter critical") trace
+      in
+      check Alcotest.bool "two entries" true (List.length enters >= 2)
+  | _ -> Alcotest.fail "expected a violation"
+
+let random_runs_record_histories () =
+  let rand = Random.State.make [| 42 |] in
+  let h, violated = Explore.run_random (machine "sc") (Programs.peterson ()) ~rand in
+  check Alcotest.bool "no violation on sc" false violated;
+  check Alcotest.int "two processors" 2 (Smem_core.History.nprocs h);
+  check Alcotest.bool "ops recorded" true (Smem_core.History.nops h > 0);
+  (* the recorded history is labeled throughout (peterson ~labeled:true) *)
+  check Alcotest.bool "labels recorded" true (Smem_core.History.has_labeled h)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "exec",
+        [
+          tc "environments" env_semantics;
+          tc "expressions" eval_expressions;
+          tc "layout" layout_flattening;
+          tc "stepping to actions" stepping;
+          tc "loops and fuel" stepping_loops;
+        ] );
+      ("mutual exclusion", mutex_cases @ spinlock_cases);
+      ( "explorer",
+        [
+          tc "violation traces" violation_trace_structure;
+          tc "random runs record histories" random_runs_record_histories;
+        ] );
+      ("liveness", [ tc "deadlock freedom" deadlock_freedom ]);
+      ( "races",
+        [
+          tc "verdicts" race_verdicts;
+          tc "DRF guarantee on rc-sc" drf_guarantee;
+        ] );
+      ( "syntax",
+        [
+          tc "parsing" prog_parse_basics;
+          tc "parse errors" prog_parse_errors;
+          tc "program library round-trips" prog_roundtrip;
+        ] );
+    ]
