@@ -104,15 +104,74 @@ let figure6 () =
     [ ("sc", true); ("rc-sc", true); ("rc-pc", false); ("tso", false) ]
 
 (* The corpus verdict matrix — the toolkit's equivalent of a results
-   table — and a random-scheduling series for the §5 violation. *)
+   table — and a random-scheduling series for the §5 violation.  Each
+   cell is checked exactly once: the matrix renders from the same
+   result list the mismatch count is computed from. *)
 let corpus_matrix () =
   Format.printf "@.== Corpus verdict matrix (every stated expectation checked) ==@.";
   let models = Registry.all in
-  Smem_litmus.Runner.pp_matrix ~models Format.std_formatter Corpus.all;
   let results = Smem_litmus.Runner.run_all ~models Corpus.all in
+  Smem_litmus.Runner.pp_matrix Format.std_formatter results;
   let bad = Smem_litmus.Runner.mismatches results in
   Format.printf "%d verdicts, %d disagree with stated expectations@."
     (List.length results) (List.length bad)
+
+(* Search statistics: the unpruned candidate space (counted analytically
+   by Diagnose) against what the pruned search actually enumerated. *)
+let search_stats_report () =
+  Format.printf
+    "@.== Search statistics: candidate space vs. candidates enumerated ==@.";
+  Format.printf "  %-22s %-8s %12s %12s %10s %10s %10s@." "history" "model"
+    "rf space" "co space" "rf seen" "co seen" "pruned";
+  List.iter
+    (fun ((test : Ltest.t), key) ->
+      let h = test.Ltest.history in
+      let rf_space, co_space = Smem_core.Diagnose.candidate_space h in
+      Smem_core.Stats.reset ();
+      ignore (Model.check (model key) h);
+      let s = Smem_core.Stats.snapshot () in
+      Format.printf "  %-22s %-8s %12d %12d %10d %10d %10d@." test.Ltest.name
+        key rf_space co_space s.Smem_core.Stats.rf_candidates
+        s.Smem_core.Stats.co_candidates s.Smem_core.Stats.pruned)
+    [
+      (Corpus.fig1_tso, "sc");
+      (Corpus.fig1_tso, "tso");
+      (Corpus.fig2_pc_not_tso, "tso");
+      (Corpus.fig3_pram_not_tso, "tso");
+      (Corpus.fig4_causal_not_tso, "causal");
+      (Corpus.bakery_rcpc_violation, "rc-sc");
+      (Corpus.bakery_rcpc_violation, "rc-pc");
+    ];
+  Smem_core.Stats.reset ()
+
+(* Parallel speedup, measured end to end: the corpus sweep and the
+   lattice classification at 1 worker vs. all cores.  Wall-clock via
+   gettimeofday — bechamel's per-run OLS is the wrong tool for a
+   multi-second parallel region, and this table feeds README.md. *)
+let parallel_speedup () =
+  let cores = Smem_parallel.Pool.default_jobs () in
+  (* On a single-core host still run the 2-domain pool: the comparison
+     then measures pool overhead (expect ~1x), not speedup. *)
+  let jobs_n = max 2 cores in
+  Format.printf "@.== Parallel speedup (jobs 1 vs jobs %d; %d core%s detected) ==@."
+    jobs_n cores (if cores = 1 then "" else "s");
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let report name f =
+    let t1 = time (fun () -> f 1) in
+    let tn = time (fun () -> f jobs_n) in
+    Format.printf "  %-28s jobs 1: %8.1f ms   jobs %d: %8.1f ms   speedup %.2fx@."
+      name (1000. *. t1) jobs_n (1000. *. tn)
+      (if tn > 0. then t1 /. tn else 0.)
+  in
+  report "corpus run_all" (fun jobs ->
+      Smem_litmus.Runner.run_all ~jobs ~models:Registry.all Corpus.all);
+  report "lattice classify_scopes" (fun jobs ->
+      Classify.classify_scopes ~jobs ~models:Registry.comparable
+        Classify.standard_scopes)
 
 let random_schedule_series () =
   Format.printf
@@ -157,6 +216,8 @@ let regenerate_figures () =
         (verdict (Smem_core.Tso_operational.check h))
   | None -> ());
   corpus_matrix ();
+  search_stats_report ();
+  parallel_speedup ();
   random_schedule_series ()
 
 (* ------------------------------------------------------------------ *)
@@ -276,6 +337,22 @@ let ablation_benches =
       (Staged.stage (sc_with_respect (Some (fun _ _ -> false))));
   ]
 
+(* The same comparison under bechamel, so the speedup claim is backed
+   by a proper estimator and not a single wall-clock sample.  Each run
+   spawns and joins the worker domains — pool setup cost is part of
+   what is being measured. *)
+let parallel_benches =
+  let jobs_n = max 2 (Smem_parallel.Pool.default_jobs ()) in
+  let corpus jobs () =
+    ignore (Smem_litmus.Runner.run_all ~jobs ~models:Registry.all Corpus.all)
+  in
+  [
+    Test.make ~name:"parallel/corpus/jobs-1" (Staged.stage (corpus 1));
+    Test.make
+      ~name:(Printf.sprintf "parallel/corpus/jobs-%d" jobs_n)
+      (Staged.stage (corpus jobs_n));
+  ]
+
 let tooling_benches =
   let fig1 = Driver.program_of_history Corpus.fig1_tso.Ltest.history in
   [
@@ -326,7 +403,7 @@ let all_benches =
   in
   Test.make_grouped ~name:"smem" ~fmt:"%s/%s"
     (figure_tests @ scaling_benches @ [ lattice_bench ] @ bakery_benches
-   @ ablation_benches @ tooling_benches @ kernel_benches)
+   @ ablation_benches @ parallel_benches @ tooling_benches @ kernel_benches)
 
 let benchmark () =
   let ols =

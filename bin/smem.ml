@@ -52,6 +52,38 @@ let models_arg =
 
 let resolve_models = function [] -> Registry.all | ms -> ms
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the search (1 = serial; 0 = one per \
+           recommended core).  Verdicts are identical for every value.")
+
+let resolve_jobs = function
+  | 0 -> Smem_parallel.Pool.default_jobs ()
+  | n when n < 1 -> 1
+  | n -> n
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print search statistics on exit: checks run, reads-from maps \
+           and coherence orders enumerated, candidates pruned, \
+           topological sorts, and wall time.")
+
+(* Reset the counters up front and, when requested, report them on exit
+   (several subcommands exit early on mismatches; at_exit covers every
+   path). *)
+let setup_stats enabled =
+  Smem_core.Stats.reset ();
+  if enabled then
+    at_exit (fun () ->
+        Format.printf "@.%a@." Smem_core.Stats.pp (Smem_core.Stats.snapshot ());
+        Format.pp_print_flush Format.std_formatter ())
+
 let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
@@ -113,7 +145,8 @@ let check_cmd =
     List.iter (fun r -> Format.printf "%a@." RunnerL.pp_result r) results;
     List.length (RunnerL.mismatches results)
   in
-  let run source models =
+  let run source models stats =
+    setup_stats stats;
     let models = resolve_models models in
     if Sys.file_exists source && Sys.is_directory source then begin
       (* Check every .litmus file in the directory. *)
@@ -150,13 +183,14 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Check a litmus test — or every .litmus file in a directory —           against memory models.")
-    Term.(const run $ source $ models_arg)
+    Term.(const run $ source $ models_arg $ stats_arg)
 
 let corpus_cmd =
-  let run models =
+  let run models jobs stats =
+    setup_stats stats;
     let models = resolve_models models in
-    RunnerL.pp_matrix ~models Format.std_formatter Corpus.all;
-    let results = RunnerL.run_all ~models Corpus.all in
+    let results = RunnerL.run_all ~jobs:(resolve_jobs jobs) ~models Corpus.all in
+    RunnerL.pp_matrix Format.std_formatter results;
     let bad = RunnerL.mismatches results in
     Format.printf "%d verdicts, %d disagree with stated expectations@."
       (List.length results) (List.length bad);
@@ -164,7 +198,7 @@ let corpus_cmd =
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Run the built-in litmus corpus.")
-    Term.(const run $ models_arg)
+    Term.(const run $ models_arg $ jobs_arg $ stats_arg)
 
 let explain_cmd =
   let source =
@@ -179,7 +213,8 @@ let explain_cmd =
       & opt (some model_conv) None
       & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model to explain under.")
   in
-  let run source (model : Model.t) =
+  let run source (model : Model.t) stats =
+    setup_stats stats;
     match load_test source with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -207,16 +242,17 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show witness views (or their absence) for a test.")
-    Term.(const run $ source $ model)
+    Term.(const run $ source $ model $ stats_arg)
 
 let lattice_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz Hasse diagram.")
   in
-  let run dot =
+  let run dot jobs stats =
+    setup_stats stats;
     let m =
-      Smem_lattice.Classify.classify_scopes ~models:Registry.comparable
-        Smem_lattice.Classify.standard_scopes
+      Smem_lattice.Classify.classify_scopes ~jobs:(resolve_jobs jobs)
+        ~models:Registry.comparable Smem_lattice.Classify.standard_scopes
     in
     if dot then print_string (Smem_lattice.Classify.to_dot m)
     else Format.printf "%a@." Smem_lattice.Classify.pp_summary m
@@ -224,7 +260,7 @@ let lattice_cmd =
   Cmd.v
     (Cmd.info "lattice"
        ~doc:"Recompute the containment lattice of the paper's Figure 5.")
-    Term.(const run $ dot)
+    Term.(const run $ dot $ jobs_arg $ stats_arg)
 
 let mutex_cmd =
   let alg =
@@ -295,13 +331,17 @@ let distinguish_cmd =
       & info [ "standard-scopes" ]
           ~doc:"Search the Figure-5 sweep instead of a single custom scope.")
   in
-  let run (a : Model.t) (b : Model.t) procs nlocs maxv labeled standard =
+  let run (a : Model.t) (b : Model.t) procs nlocs maxv labeled standard jobs
+      stats =
+    setup_stats stats;
     let scopes =
       if standard then Smem_lattice.Classify.standard_scopes
       else
         [ { Smem_lattice.Enumerate.procs; nlocs; max_value = maxv; labeled } ]
     in
-    let verdict = Smem_lattice.Distinguish.compare ~a ~b scopes in
+    let verdict =
+      Smem_lattice.Distinguish.compare ~jobs:(resolve_jobs jobs) ~a ~b scopes
+    in
     Format.printf "%a@." (Smem_lattice.Distinguish.pp_verdict ~a ~b) verdict
   in
   Cmd.v
@@ -311,7 +351,7 @@ let distinguish_cmd =
           (the paper's §4 comparisons, automated).")
     Term.(
       const run $ model_pos 0 "First model." $ model_pos 1 "Second model."
-      $ procs $ nlocs $ maxv $ labeled $ standard)
+      $ procs $ nlocs $ maxv $ labeled $ standard $ jobs_arg $ stats_arg)
 
 let liveness_cmd =
   let alg =
@@ -467,7 +507,8 @@ let custom_cmd =
           ~doc:
             "Ordering requirement (repeatable; union): po | ppo | po-loc |              own-po | causal | semi-causal.")
   in
-  let run source operations mutual orderings =
+  let run source operations mutual orderings stats =
+    setup_stats stats;
     let orderings = match orderings with [] -> [ `Po ] | os -> os in
     let model =
       try
@@ -493,7 +534,7 @@ let custom_cmd =
     (Cmd.info "custom"
        ~doc:
          "Check a test against a model composed from the paper's three           parameters (§2): view population, mutual consistency, ordering.")
-    Term.(const run $ source $ ops_arg $ mutual_arg $ order_arg)
+    Term.(const run $ source $ ops_arg $ mutual_arg $ order_arg $ stats_arg)
 
 let outcomes_cmd =
   let source =

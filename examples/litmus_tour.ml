@@ -10,8 +10,8 @@ module Machines = Smem_machine.Machines
 let () =
   let models = Smem_core.Registry.all in
   Format.printf "== Axiomatic verdicts (checker per model) ==@.";
-  Smem_litmus.Runner.pp_matrix ~models Format.std_formatter
-    Smem_litmus.Corpus.all;
+  Smem_litmus.Runner.run_all ~models Smem_litmus.Corpus.all
+  |> Smem_litmus.Runner.pp_matrix Format.std_formatter;
 
   Format.printf "@.== Operational reachability (machine replay) ==@.";
   let machines = Machines.all in

@@ -9,28 +9,9 @@ type mutual =
 
 type ordering = [ `Po | `Ppo | `Po_loc | `Own_po | `Causal | `Semi_causal ]
 
-let needs_rf orderings =
-  List.exists (fun o -> o = `Causal || o = `Semi_causal) orderings
+let is_dynamic = function `Causal | `Semi_causal -> true | _ -> false
 
-(* Resolve the ordering union for one processor's view, given the
-   enumeration witnesses in scope. *)
-let resolve_order h ~orderings ~proc ~rf ~co =
-  let nops = History.nops h in
-  let acc = Rel.create nops in
-  List.iter
-    (fun o ->
-      let rel =
-        match o with
-        | `Po -> Orders.po h
-        | `Ppo -> Orders.ppo h
-        | `Po_loc -> Orders.po_loc h
-        | `Own_po -> Orders.po_of_proc h proc
-        | `Causal -> Orders.causal h ~rf:(Option.get rf)
-        | `Semi_causal -> Orders.sem h ~rf:(Option.get rf) ~co:(Option.get co)
-      in
-      Rel.union_into ~into:acc rel)
-    orderings;
-  acc
+let needs_rf orderings = List.exists is_dynamic orderings
 
 let view_ops h operations proc =
   match operations with
@@ -52,27 +33,84 @@ let witness ~operations ~mutual ~orderings h =
   let nops = History.nops h in
   let nprocs = History.nprocs h in
   let found = ref None in
-  let engine_a ~rf ~co ~extra =
+  (* Everything that does not depend on the enumerated (rf, co)
+     candidate is hoisted here and computed once per history: the
+     shared po/ppo/po-loc relations, the per-view static ordering
+     unions, and the view populations.  The old code rebuilt all of it
+     inside the Reads_from.iter × Coherence.iter product, once per
+     candidate per processor. *)
+  let po = lazy (Orders.po h) in
+  let ppo = lazy (Orders.ppo h) in
+  let po_loc = lazy (Orders.po_loc h) in
+  let static_orderings, dynamic_orderings =
+    List.partition (fun o -> not (is_dynamic o)) orderings
+  in
+  let static_order proc =
+    let acc = Rel.create nops in
+    List.iter
+      (fun o ->
+        let rel =
+          match o with
+          | `Po -> Lazy.force po
+          | `Ppo -> Lazy.force ppo
+          | `Po_loc -> Lazy.force po_loc
+          | `Own_po -> Orders.po_of_proc h proc
+          | `Causal | `Semi_causal -> assert false
+        in
+        Rel.union_into ~into:acc rel)
+      static_orderings;
+    acc
+  in
+  let view_procs =
+    match mutual with
+    | `Total_agreement -> [ -1 ]
+    | _ -> List.init nprocs Fun.id
+  in
+  let static_views =
+    List.map
+      (fun p ->
+        let ops =
+          if p = -1 then History.all_ops_set h else view_ops h operations p
+        in
+        (p, ops, static_order p))
+      view_procs
+  in
+  (* The dynamic orderings (causal, semi-causal) are candidate-dependent
+     but processor-independent, so they are computed once per candidate
+     and unioned into each view's hoisted static order. *)
+  let dyn_rel ~rf ~co =
+    match dynamic_orderings with
+    | [] -> None
+    | ds ->
+        let acc = Rel.create nops in
+        List.iter
+          (fun o ->
+            let rel =
+              match o with
+              | `Causal ->
+                  Orders.causal_with h ~po:(Lazy.force po) ~rf:(Option.get rf)
+              | `Semi_causal ->
+                  Orders.sem_with h ~ppo:(Lazy.force ppo) ~rf:(Option.get rf)
+                    ~co:(Option.get co)
+              | _ -> assert false
+            in
+            Rel.union_into ~into:acc rel)
+          ds;
+        Some acc
+  in
+  let order_for static = function
+    | None -> static
+    | Some dyn -> Rel.union static dyn
+  in
+  let engine_a ~rf ~co ~rf_rel ~extra =
+    let dyn = dyn_rel ~rf:(Some rf) ~co:(Some co) in
     let views =
-      match mutual with
-      | `Total_agreement ->
-          [
-            {
-              Engine.proc = -1;
-              ops = History.all_ops_set h;
-              order = resolve_order h ~orderings ~proc:(-1) ~rf:(Some rf) ~co:(Some co);
-            };
-          ]
-      | _ ->
-          List.init nprocs (fun p ->
-              {
-                Engine.proc = p;
-                ops = view_ops h operations p;
-                order =
-                  resolve_order h ~orderings ~proc:p ~rf:(Some rf) ~co:(Some co);
-              })
+      List.map
+        (fun (p, ops, static) ->
+          { Engine.proc = p; ops; order = order_for static dyn })
+        static_views
     in
-    match Engine.check h ~rf ~co ~extra ~views with
+    match Engine.check h ~rf_rel ~rf ~co ~extra ~views with
     | Some w ->
         found := Some w;
         true
@@ -83,20 +121,20 @@ let witness ~operations ~mutual ~orderings h =
     | `No_agreement ->
         (* Independent views: engine B, with reads-from enumeration only
            when an ordering needs it. *)
+        let statics = Array.of_list static_views in
         let attempt rf =
+          let dyn = dyn_rel ~rf ~co:None in
           let rec go p acc =
             if p = nprocs then begin
               found := Some (Witness.per_proc (List.rev acc) ~notes:[]);
               true
             end
             else
-              let order = resolve_order h ~orderings ~proc:p ~rf ~co:None in
+              let _, ops, static = statics.(p) in
+              let order = order_for static dyn in
               if not (Rel.acyclic order) then false
               else
-                match
-                  View.exists h ~ops:(view_ops h operations p) ~order
-                    ~legality:View.By_value
-                with
+                match View.exists h ~ops ~order ~legality:View.By_value with
                 | None -> false
                 | Some seq -> go (p + 1) ((p, seq) :: acc)
           in
@@ -105,15 +143,18 @@ let witness ~operations ~mutual ~orderings h =
         if needs_rf orderings then Reads_from.iter h ~f:(fun rf -> attempt (Some rf))
         else attempt None
     | `Coherence | `Total_agreement ->
+        let extra = Rel.create nops in
         Reads_from.iter h ~f:(fun rf ->
-            Coherence.iter h ~f:(fun co ->
-                engine_a ~rf ~co ~extra:(Rel.create nops)))
+            let rf_rel = Engine.rf_edges h ~rf in
+            Coherence.iter h ~f:(fun co -> engine_a ~rf ~co ~rf_rel ~extra))
     | `Global_write_order ->
         let writes = Array.of_list (History.writes h) in
         Reads_from.iter h ~f:(fun rf ->
+            let rf_rel = Engine.rf_edges h ~rf in
             Perm.iter_constrained writes ~precedes:(write_po h) ~f:(fun worder ->
+                Stats.count_co ();
                 let co = Coherence.of_write_order h worder in
-                engine_a ~rf ~co ~extra:(chain_rel nops worder)))
+                engine_a ~rf ~co ~rf_rel ~extra:(chain_rel nops worder)))
   in
   !found
 

@@ -14,10 +14,11 @@ let views_for h ~order =
   go 0 []
 
 let witness h =
+  let po = Orders.po h in
   let found = ref None in
   let _ : bool =
     Reads_from.iter h ~f:(fun rf ->
-        let causal = Orders.causal h ~rf in
+        let causal = Orders.causal_with h ~po ~rf in
         Rel.irreflexive causal
         &&
         match views_for h ~order:causal with

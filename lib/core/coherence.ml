@@ -75,8 +75,10 @@ let iter ?respect h ~f =
      building into a shared [chosen] array of rows. *)
   let chosen = Array.map Array.copy per_loc_writes in
   let rec go l =
-    if l = nlocs then
+    if l = nlocs then begin
+      Stats.count_co ();
       f (build (History.nops h) nlocs (Array.map Array.copy chosen))
+    end
     else
       Perm.iter_constrained per_loc_writes.(l) ~precedes:respect ~f:(fun order ->
           chosen.(l) <- Array.copy order;

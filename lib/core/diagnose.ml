@@ -10,14 +10,47 @@ let pp_edge_kind ppf = function
 
 type cycle = { ops : int list; edges : (int * edge_kind * int) list }
 
+(* Both counts are pure arithmetic: the reads-from space is a product
+   of per-read candidate counts, and the coherence space factors per
+   location into interleavings of per-processor write chains (the
+   enumeration's [default_respect] constraint is exactly "same
+   processor, program order"), i.e. a multinomial coefficient.  The old
+   code multiplied unchecked ints for rf (silent overflow) and
+   enumerated every coherence order just to count them (exponential
+   blow-up on larger histories); both now saturate at [max_int]. *)
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
 let candidate_space h =
   let rf_count =
     List.fold_left
-      (fun acc r -> acc * List.length (Reads_from.candidates h r))
+      (fun acc r -> sat_mul acc (List.length (Reads_from.candidates h r)))
       1 (History.reads h)
   in
-  let co_count = ref 0 in
-  ignore (Coherence.iter h ~f:(fun _ -> incr co_count; false));
+  let nprocs = History.nprocs h in
+  let co_count = ref 1 in
+  for l = 0 to History.nlocs h - 1 do
+    let chain = Array.make nprocs 0 in
+    List.iter
+      (fun w ->
+        let p = (History.op h w).Op.proc in
+        chain.(p) <- chain.(p) + 1)
+      (History.writes_to h l);
+    (* multinomial (Σ chain)! / Π chain!, as a product of binomials;
+       each step acc * (n0 + i) / i is exact integer arithmetic. *)
+    let n = ref 0 in
+    Array.iter
+      (fun c ->
+        for i = 1 to c do
+          incr n;
+          co_count :=
+            (if !co_count > max_int / !n then max_int
+             else !co_count * !n / i)
+        done)
+      chain
+  done;
   (rf_count, !co_count)
 
 let first_candidate h =

@@ -18,7 +18,11 @@ type cycle = { ops : int list; edges : (int * edge_kind * int) list }
 
 val candidate_space : History.t -> int * int
 (** (number of reads-from maps, number of coherence orders) the
-    checkers enumerate for this history. *)
+    checkers enumerate for this history — the {e unpruned} size of the
+    candidate space, computed analytically (no enumeration: the rf
+    space is a product of per-read candidate counts, the coherence
+    space a product of per-location chain-interleaving multinomials).
+    Both components saturate at [max_int] instead of overflowing. *)
 
 val sc_cycle : History.t -> cycle option
 (** A cycle in the SC constraint graph (po ∪ rf ∪ fr ∪ co) under the

@@ -24,25 +24,29 @@ let fr_edges h ~rf ~co =
     (History.reads h);
   rel
 
-let check h ~rf ~co ~extra ~views =
-  let base = Rel.union (rf_edges h ~rf) (fr_edges h ~rf ~co) in
+let check ?rf_rel h ~rf ~co ~extra ~views =
+  let rf_rel = match rf_rel with Some r -> r | None -> rf_edges h ~rf in
+  let base = Rel.union rf_rel (fr_edges h ~rf ~co) in
   Rel.union_into ~into:base (Coherence.to_rel co);
   Rel.union_into ~into:base extra;
   let solve_view spec =
     let graph = Rel.restrict (Rel.union spec.order base) spec.ops in
+    Stats.count_toposort ();
     match Rel.topological_sort graph with
     | None -> None
     | Some order ->
         let seq = List.filter (Bitset.mem spec.ops) order in
         Some (spec.proc, seq)
   in
-  let notes =
+  (* Notes are only rendered on success: formatting them eagerly made
+     every failing candidate pay two asprintf calls in the hot loop. *)
+  let notes () =
     let rf_note = Format.asprintf "reads-from: %a" (Reads_from.pp h) rf in
     let co_note = Format.asprintf "%a" (Coherence.pp h) co in
     if String.trim co_note = "" then [ rf_note ] else [ rf_note; co_note ]
   in
   let rec solve acc = function
-    | [] -> Some (Witness.per_proc (List.rev acc) ~notes)
+    | [] -> Some (Witness.per_proc (List.rev acc) ~notes:(notes ()))
     | spec :: rest -> (
         match solve_view spec with
         | None -> None

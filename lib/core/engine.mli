@@ -34,6 +34,7 @@ val fr_edges : History.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
     read reads the initial value). *)
 
 val check :
+  ?rf_rel:Rel.t ->
   History.t ->
   rf:Reads_from.t ->
   co:Coherence.t ->
@@ -41,4 +42,9 @@ val check :
   views:view_spec list ->
   Witness.t option
 (** Check every view's digraph for acyclicity; on success return a
-    witness with a deterministic linear extension per view. *)
+    witness with a deterministic linear extension per view.
+
+    [?rf_rel] lets a caller that enumerates coherence orders inside a
+    reads-from loop pass [rf_edges h ~rf] computed once per map instead
+    of recomputing it for every coherence candidate; it must equal
+    [rf_edges h ~rf] and is never mutated. *)

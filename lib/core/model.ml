@@ -7,4 +7,6 @@ type t = {
 
 let make ~key ~name ~description witness = { key; name; description; witness }
 
-let check t h = Option.is_some (t.witness h)
+let check t h =
+  Stats.count_check ();
+  Stats.time (fun () -> Option.is_some (t.witness h))

@@ -18,4 +18,5 @@ val make :
   t
 
 val check : t -> History.t -> bool
-(** [check m h] — is [h] in the set of histories allowed by [m]? *)
+(** [check m h] — is [h] in the set of histories allowed by [m]?
+    Bumps the {!Stats} check counter and accumulates wall time. *)

@@ -83,9 +83,10 @@ let real_time h =
   done;
   rel
 
-let causal h ~rf =
-  let rel = Rel.union (po h) (Reads_from.wb h rf) in
-  Rel.transitive_closure rel
+let causal_with h ~po ~rf =
+  Rel.transitive_closure (Rel.union po (Reads_from.wb h rf))
+
+let causal h ~rf = causal_with h ~po:(po h) ~rf
 
 let rwb_into h ~rf ~ppo rel ~member =
   List.iter
@@ -137,7 +138,9 @@ let rrb h ~rf ~co =
   rrb_into h ~rf ~co ~ppo rel ~member:everyone;
   rel
 
-let sem h ~rf ~co = sem_of h ~ppo:(ppo h) ~rf ~co ~member:everyone
+let sem_with h ~ppo ~rf ~co = sem_of h ~ppo ~rf ~co ~member:everyone
+
+let sem h ~rf ~co = sem_with h ~ppo:(ppo h) ~rf ~co
 
 let sem_within h ~members ~rf ~co =
   sem_of h ~ppo:(ppo_within h ~members) ~rf ~co ~member:(Bitset.mem members)

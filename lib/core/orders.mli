@@ -40,6 +40,10 @@ val real_time : History.t -> Rel.t
 
 val causal : History.t -> rf:Reads_from.t -> Rel.t
 
+val causal_with : History.t -> po:Rel.t -> rf:Reads_from.t -> Rel.t
+(** {!causal} with the program order precomputed: enumeration loops
+    call this with [po h] hoisted out of the per-candidate path. *)
+
 val rwb : History.t -> rf:Reads_from.t -> Rel.t
 (** [o1 →rwb o2]: [o1] is a write, [o2] a read whose writer [o'] has
     [o1 →ppo o']. *)
@@ -51,6 +55,11 @@ val rrb : History.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
 
 val sem : History.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
 (** Semi-causality: [(ppo ∪ rwb ∪ rrb)+]. *)
+
+val sem_with :
+  History.t -> ppo:Rel.t -> rf:Reads_from.t -> co:Coherence.t -> Rel.t
+(** {!sem} with the partial program order precomputed (it is
+    candidate-independent, so enumeration loops hoist it). *)
 
 val ppo_within : History.t -> members:Bitset.t -> Rel.t
 val sem_within :

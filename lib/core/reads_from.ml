@@ -22,20 +22,51 @@ let candidates h r =
   if op.Op.value = 0 then History.init :: writes else writes
 
 let iter h ~f =
-  let reads = History.reads h in
-  let writer = Array.make (History.nops h) no_writer in
-  let rec go = function
-    | [] -> f { writer = Array.copy writer }
-    | r :: rest ->
-        List.exists
+  let reads = Array.of_list (History.reads h) in
+  let nreads = Array.length reads in
+  (* Hoisted: the candidate writers of each read depend only on the
+     history, so compute them once here instead of once per enumeration
+     node (the old recursion recomputed read [k]'s candidates for every
+     assignment of reads [0..k-1]). *)
+  let cands = Array.map (fun r -> Array.of_list (candidates h r)) reads in
+  let rejected = ref 0 in
+  Array.iteri
+    (fun i r ->
+      let op = History.op h r in
+      let possible =
+        List.length (History.writes_to h op.Op.loc)
+        + (if op.Op.value = 0 then 1 else 0)
+      in
+      rejected := !rejected + possible - Array.length cands.(i))
+    reads;
+  Stats.add_pruned !rejected;
+  if Array.exists (fun c -> Array.length c = 0) cands then begin
+    (* Some read returns a value nobody wrote: no reads-from map exists,
+       so short-circuit before enumerating any prefix assignment (the
+       old code still walked the full product of the earlier reads'
+       candidates before failing on the empty one). *)
+    Stats.add_pruned 1;
+    false
+  end
+  else begin
+    let writer = Array.make (History.nops h) no_writer in
+    let rec go i =
+      if i = nreads then begin
+        Stats.count_rf ();
+        f { writer = Array.copy writer }
+      end
+      else
+        let r = reads.(i) in
+        Array.exists
           (fun w ->
             writer.(r) <- w;
-            let accepted = go rest in
+            let accepted = go (i + 1) in
             writer.(r) <- no_writer;
             accepted)
-          (candidates h r)
-  in
-  go reads
+          cands.(i)
+    in
+    go 0
+  end
 
 let wb h t =
   let rel = Rel.create (History.nops h) in

@@ -9,13 +9,14 @@ let witness h =
     found := Some w;
     true
   in
+  let views = [ { Engine.proc = -1; ops = all; order = po } ] in
   let _ : bool =
     Reads_from.iter h ~f:(fun rf ->
+        (* rf edges depend only on the reads-from map: hoist them out
+           of the coherence enumeration. *)
+        let rf_rel = Engine.rf_edges h ~rf in
         Coherence.iter h ~f:(fun co ->
-            match
-              Engine.check h ~rf ~co ~extra:empty
-                ~views:[ { Engine.proc = -1; ops = all; order = po } ]
-            with
+            match Engine.check h ~rf_rel ~rf ~co ~extra:empty ~views with
             | Some w -> accept w
             | None -> false))
   in

@@ -1,0 +1,85 @@
+(* Search-statistics counters for the witness searches.
+
+   The counters are process-global [Stdlib.Atomic] cells so the
+   parallel runner's worker domains can bump them without
+   synchronization beyond the atomic increment; a snapshot is therefore
+   an aggregate over every check run since the last [reset], across all
+   domains.  [Stdlib.Atomic] is spelled out because [Atomic] inside
+   this library is the atomic-memory model. *)
+
+module A = Stdlib.Atomic
+
+type snapshot = {
+  checks : int;
+  rf_candidates : int;
+  co_candidates : int;
+  pruned : int;
+  toposorts : int;
+  wall_ns : int;
+}
+
+let checks = A.make 0
+let rf_candidates = A.make 0
+let co_candidates = A.make 0
+let pruned = A.make 0
+let toposorts = A.make 0
+let wall_ns = A.make 0
+
+let all = [ checks; rf_candidates; co_candidates; pruned; toposorts; wall_ns ]
+
+let reset () = List.iter (fun c -> A.set c 0) all
+
+let snapshot () =
+  {
+    checks = A.get checks;
+    rf_candidates = A.get rf_candidates;
+    co_candidates = A.get co_candidates;
+    pruned = A.get pruned;
+    toposorts = A.get toposorts;
+    wall_ns = A.get wall_ns;
+  }
+
+let diff a b =
+  {
+    checks = a.checks - b.checks;
+    rf_candidates = a.rf_candidates - b.rf_candidates;
+    co_candidates = a.co_candidates - b.co_candidates;
+    pruned = a.pruned - b.pruned;
+    toposorts = a.toposorts - b.toposorts;
+    wall_ns = a.wall_ns - b.wall_ns;
+  }
+
+let bump c = A.incr c
+let add c n = if n > 0 then ignore (A.fetch_and_add c n)
+
+let count_check () = bump checks
+let count_rf () = bump rf_candidates
+let count_co () = bump co_candidates
+let add_pruned n = add pruned n
+let count_toposort () = bump toposorts
+let add_wall_ns n = add wall_ns n
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    add_wall_ns (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+  in
+  Fun.protect ~finally f
+
+let pp_wall ppf ns =
+  if ns >= 1_000_000_000 then Format.fprintf ppf "%.3f s" (float ns /. 1e9)
+  else if ns >= 1_000_000 then Format.fprintf ppf "%.3f ms" (float ns /. 1e6)
+  else if ns >= 1_000 then Format.fprintf ppf "%.3f us" (float ns /. 1e3)
+  else Format.fprintf ppf "%d ns" ns
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>search statistics:@,\
+    \  checks run            %d@,\
+    \  rf maps enumerated    %d@,\
+    \  co orders enumerated  %d@,\
+    \  rf candidates pruned  %d@,\
+    \  topological sorts     %d@,\
+    \  wall time (all checks, summed across workers)  %a@]"
+    s.checks s.rf_candidates s.co_candidates s.pruned s.toposorts pp_wall
+    s.wall_ns

@@ -1,0 +1,48 @@
+(** Search-statistics counters for the witness searches.
+
+    Every checker is an existential search over enumerated reads-from
+    maps and coherence orders; these counters make the cost of that
+    search observable ([smem ... --stats], the bench harness) instead of
+    asserted.  Counters are process-global atomics: they aggregate over
+    every check since the last {!reset}, across all worker domains of
+    the parallel runner, and are safe to bump concurrently. *)
+
+type snapshot = {
+  checks : int;  (** {!Model.check} invocations *)
+  rf_candidates : int;  (** complete reads-from maps enumerated *)
+  co_candidates : int;  (** complete coherence orders enumerated *)
+  pruned : int;
+      (** rf writer candidates rejected before enumeration:
+          value-incompatible writes, plus one per read whose candidate
+          set is empty (which prunes the entire search) *)
+  toposorts : int;  (** topological sorts run by the acyclicity engine *)
+  wall_ns : int;
+      (** wall time spent inside {!Model.check}, in nanoseconds, summed
+          across concurrent workers (so it can exceed elapsed time) *)
+}
+
+val reset : unit -> unit
+(** Zero every counter. *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — componentwise subtraction. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+(** {1 Instrumentation points}
+
+    Called by the enumeration and engine hot paths; cheap atomic
+    increments. *)
+
+val count_check : unit -> unit
+val count_rf : unit -> unit
+val count_co : unit -> unit
+val add_pruned : int -> unit
+val count_toposort : unit -> unit
+val add_wall_ns : int -> unit
+
+val time : (unit -> 'a) -> 'a
+(** Run the thunk and add its wall-clock duration to {!snapshot}
+    [wall_ns] (also on exceptions). *)

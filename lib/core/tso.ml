@@ -30,10 +30,12 @@ let witness h =
   let found = ref None in
   let _ : bool =
     Reads_from.iter h ~f:(fun rf ->
+        let rf_rel = Engine.rf_edges h ~rf in
         Perm.iter_constrained writes ~precedes:(write_po h) ~f:(fun worder ->
+            Stats.count_co ();
             let co = Coherence.of_write_order h worder in
             let extra = chain_rel nops worder in
-            match Engine.check h ~rf ~co ~extra ~views with
+            match Engine.check h ~rf_rel ~rf ~co ~extra ~views with
             | Some w ->
                 let note =
                   Format.asprintf "write order: %a" (History.pp_ops h)

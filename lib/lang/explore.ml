@@ -45,7 +45,10 @@ let check_mutex ?(max_states = 2_000_000) ?(fuel = 10_000)
           else
             match Exec.step_to_action layout ~env:t.env ~cont:t.cont ~fuel with
             | Exec.Out_of_fuel ->
-                invalid_arg "Explore.check_mutex: thread ran out of local fuel"
+                (* A thread exceeded its local computation budget: stop
+                   expanding this branch and report a bounded verdict
+                   instead of crashing the whole exploration. *)
+                limit_hit := true
             | Exec.Finished env ->
                 let threads' = Array.copy threads in
                 threads'.(i) <- { t with env; finished = true };
@@ -130,7 +133,9 @@ let check_deadlock_freedom ?(max_states = 2_000_000) ?(fuel = 10_000)
         else
           match Exec.step_to_action layout ~env:t.env ~cont:t.cont ~fuel with
           | Exec.Out_of_fuel ->
-              invalid_arg "Explore.check_deadlock_freedom: thread out of fuel"
+              (* Same graceful degradation as check_mutex: a fuel-bound
+                 branch makes the exploration bounded, not an error. *)
+              limit := true
           | Exec.Finished env ->
               let threads' = Array.copy threads in
               threads'.(i) <- { t with env; finished = true };

@@ -13,7 +13,10 @@ type verdict =
   | Violation of string list
       (** a schedule reaching two threads in the critical section, as a
           human-readable action trace *)
-  | State_limit  (** exploration hit the state bound before finishing *)
+  | State_limit
+      (** exploration hit the state bound — or a thread exhausted its
+          local fuel — before finishing: the verdict is bounded, not
+          exhaustive *)
 
 val check_mutex :
   ?max_states:int ->
@@ -23,8 +26,9 @@ val check_mutex :
   verdict
 (** Exhaustive check.  [max_states] defaults to 2_000_000; [fuel]
     bounds local computation per scheduling step (default 10_000).
-    @raise Invalid_argument if a thread runs out of local fuel (a
-    memory-free loop). *)
+    A thread that runs out of local fuel (a memory-free loop deeper
+    than [fuel]) stops that branch and degrades the verdict to
+    {!State_limit} rather than raising. *)
 
 type liveness =
   | Deadlock_free of int

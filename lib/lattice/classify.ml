@@ -11,14 +11,14 @@ type matrix = {
   witness : H.t option array array;
 }
 
-let classify ~models config =
+let classify_part ~models config ~parts ~part =
   let models_arr = Array.of_list models in
   let n = Array.length models_arr in
   let total = ref 0 in
   let allowed_counts = Array.make n 0 in
   let only_in = Array.make_matrix n n 0 in
   let witness = Array.init n (fun _ -> Array.make n None) in
-  Enumerate.iter config ~f:(fun h ->
+  Enumerate.iter ~parts ~part config ~f:(fun h ->
       incr total;
       let allowed = Array.map (fun m -> Model.check m h) models_arr in
       for i = 0 to n - 1 do
@@ -53,6 +53,20 @@ let merge a b =
               | None -> b.witness.(i).(j)));
   }
 
+let classify ?(jobs = 1) ~models config =
+  (* Partition the enumeration by first-slot choice — one part per
+     choice, independent of [jobs] — and merge in part order.  The
+     partition is fixed so the result (counts {e and} example
+     witnesses) is identical for every [jobs], including the serial
+     run. *)
+  let parts = max 1 (Enumerate.nchoices config) in
+  Smem_parallel.Pool.map ~jobs
+    (fun part -> classify_part ~models config ~parts ~part)
+    (List.init parts Fun.id)
+  |> function
+  | [] -> assert false
+  | m :: rest -> List.fold_left merge m rest
+
 let standard_scopes =
   [
     (* Figure 1 scope: 2x2 ops, two locations, one written value. *)
@@ -63,8 +77,8 @@ let standard_scopes =
     { Enumerate.procs = [ 3; 3 ]; nlocs = 1; max_value = 2; labeled = false };
   ]
 
-let classify_scopes ~models scopes =
-  match List.map (classify ~models) scopes with
+let classify_scopes ?jobs ~models scopes =
+  match List.map (classify ?jobs ~models) scopes with
   | [] -> invalid_arg "Classify.classify_scopes: no scopes"
   | m :: rest -> List.fold_left merge m rest
 

@@ -17,7 +17,11 @@ type matrix = {
 }
 
 val classify :
-  models:Smem_core.Model.t list -> Enumerate.config -> matrix
+  ?jobs:int -> models:Smem_core.Model.t list -> Enumerate.config -> matrix
+(** Classify every history of the scope.  [jobs] (default 1) fans
+    fixed slices of the enumeration across worker domains; the slicing
+    does not depend on [jobs], so counts and example witnesses are
+    identical for every [jobs]. *)
 
 val merge : matrix -> matrix -> matrix
 (** Pointwise union of two classifications over the same model list
@@ -31,7 +35,10 @@ val standard_scopes : Enumerate.config list
     one of them). *)
 
 val classify_scopes :
-  models:Smem_core.Model.t list -> Enumerate.config list -> matrix
+  ?jobs:int ->
+  models:Smem_core.Model.t list ->
+  Enumerate.config list ->
+  matrix
 
 val relation : matrix -> int -> int -> relation
 

@@ -20,14 +20,22 @@ let separating ~allow ~forbid scopes =
     None
   with Found h -> Some h
 
-let compare ~a ~b scopes =
-  let a_only = separating ~allow:a ~forbid:b scopes in
-  let b_only = separating ~allow:b ~forbid:a scopes in
-  match (a_only, b_only) with
-  | None, None -> Equal
-  | None, Some w -> A_stronger w
-  | Some w, None -> B_stronger w
-  | Some wa, Some wb -> Incomparable (wa, wb)
+let compare ?(jobs = 1) ~a ~b scopes =
+  (* The two direction searches are independent: run them on the pool
+     (at most two workers are useful here). *)
+  let searches =
+    Smem_parallel.Pool.map ~jobs
+      (fun (allow, forbid) -> separating ~allow ~forbid scopes)
+      [ (a, b); (b, a) ]
+  in
+  match searches with
+  | [ a_only; b_only ] -> (
+      match (a_only, b_only) with
+      | None, None -> Equal
+      | None, Some w -> A_stronger w
+      | Some w, None -> B_stronger w
+      | Some wa, Some wb -> Incomparable (wa, wb))
+  | _ -> assert false
 
 let pp_verdict ~a ~b ppf = function
   | Equal ->

@@ -21,13 +21,15 @@ val separating :
     [forbid]. *)
 
 val compare :
+  ?jobs:int ->
   a:Smem_core.Model.t ->
   b:Smem_core.Model.t ->
   Enumerate.config list ->
   verdict
 (** Relate two models over the given scopes.  [Equal] is relative to
     the scopes searched, of course; the other verdicts carry witnesses
-    and are definitive. *)
+    and are definitive.  [jobs >= 2] runs the two direction searches on
+    separate domains; the verdict is identical for every [jobs]. *)
 
 val pp_verdict :
   a:Smem_core.Model.t ->

@@ -33,18 +33,30 @@ let count config =
   let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
   pow per_slot total_slots
 
-let iter config ~f =
+let nchoices config = List.length (slot_choices config)
+
+let iter ?(parts = 1) ?(part = 0) config ~f =
+  if parts < 1 || part < 0 || part >= parts then
+    invalid_arg "Enumerate.iter: need 0 <= part < parts";
   let choices = slot_choices config in
-  (* Build per-processor rows slot by slot, processor-major. *)
-  let rec fill_proc remaining_slots row rows_rev procs_rest =
+  (* Build per-processor rows slot by slot, processor-major.  [first]
+     tracks whether we are filling the very first operation slot: the
+     partition assigns a history to part [i mod parts] where [i] is the
+     choice index of that slot, so the parts are disjoint and cover the
+     space.  With [parts = nchoices] each part is one first-slot choice
+     and concatenating the parts in order reproduces the unpartitioned
+     enumeration order exactly. *)
+  let rec fill_proc ~first remaining_slots row rows_rev procs_rest =
     match (remaining_slots, procs_rest) with
     | 0, [] -> f (H.make (List.rev (List.rev row :: rows_rev)))
-    | 0, n :: rest -> fill_proc n [] (List.rev row :: rows_rev) rest
+    | 0, n :: rest -> fill_proc ~first n [] (List.rev row :: rows_rev) rest
     | n, _ ->
-        List.iter
-          (fun event -> fill_proc (n - 1) (event :: row) rows_rev procs_rest)
+        List.iteri
+          (fun i event ->
+            if (not first) || i mod parts = part then
+              fill_proc ~first:false (n - 1) (event :: row) rows_rev procs_rest)
           choices
   in
   match config.procs with
   | [] -> ()
-  | n :: rest -> fill_proc n [] [] rest
+  | n :: rest -> fill_proc ~first:true n [] [] rest

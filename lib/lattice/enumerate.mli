@@ -23,7 +23,20 @@ val default : config
 val count : config -> int
 (** Number of histories the configuration generates. *)
 
-val iter : config -> f:(Smem_core.History.t -> unit) -> unit
+val iter :
+  ?parts:int -> ?part:int -> config -> f:(Smem_core.History.t -> unit) -> unit
+(** [iter ~parts ~part config ~f] enumerates the slice of the space
+    whose first operation slot has choice index [≡ part (mod parts)]
+    (defaults: the whole space).  The [parts] slices are disjoint and
+    cover the space, so a parallel classifier can fan them across
+    domains; with [parts = nchoices config], concatenating the slices
+    in part order reproduces the unpartitioned enumeration order
+    exactly.
+    @raise Invalid_argument unless [0 <= part < parts]. *)
+
+val nchoices : config -> int
+(** Number of distinct events one operation slot can hold — the natural
+    partition width for {!iter}'s [parts]. *)
 
 val loc_names : int -> string array
 (** The location names used by the generator ([x], [y], [z], [l3]...). *)

@@ -9,18 +9,24 @@ type result = {
 
 let agrees r = match r.expected with None -> true | Some e -> e = r.got
 
-let run_test ~models test =
-  List.map
-    (fun model ->
-      {
-        test;
-        model;
-        got = Test.verdict_of_bool (Model.check model test.Test.history);
-        expected = Test.expected test model.Model.key;
-      })
-    models
+let cell test model =
+  {
+    test;
+    model;
+    got = Test.verdict_of_bool (Model.check model test.Test.history);
+    expected = Test.expected test model.Model.key;
+  }
 
-let run_all ~models tests = List.concat_map (run_test ~models) tests
+let run_test ~models test = List.map (cell test) models
+
+let run_all ?(jobs = 1) ~models tests =
+  (* Fan the test × model cells — not whole tests — across the pool:
+     cell costs are wildly uneven (an exhausted search vs. an immediate
+     witness), and per-cell self-scheduling balances them. *)
+  let cells =
+    List.concat_map (fun t -> List.map (fun m -> (t, m)) models) tests
+  in
+  Smem_parallel.Pool.map ~jobs (fun (t, m) -> cell t m) cells
 
 let mismatches results = List.filter (fun r -> not (agrees r)) results
 
@@ -32,23 +38,57 @@ let pp_result ppf r =
         Format.asprintf "  (MISMATCH: expected %a)" Test.pp_verdict e
     | _ -> "")
 
-let pp_matrix ~models ppf tests =
-  let cell test (model : Model.t) =
-    let got = Test.verdict_of_bool (Model.check model test.Test.history) in
+(* Render the verdict matrix from results already computed by
+   {!run_all}: the old version re-ran [Model.check] for every cell even
+   when the caller had just run the full matrix, doubling every
+   search. *)
+let pp_matrix ppf results =
+  let dedupe key xs =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun x ->
+        let k = key x in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      xs
+  in
+  let tests = dedupe (fun r -> r.test.Test.name) results in
+  let models = dedupe (fun r -> r.model.Model.key) results in
+  let by_cell = Hashtbl.create (List.length results) in
+  List.iter
+    (fun r -> Hashtbl.replace by_cell (r.test.Test.name, r.model.Model.key) r)
+    results;
+  let render r =
     let mark =
-      match Test.expected test model.Model.key with
-      | Some e when e <> got -> "!"
+      match r.expected with
+      | Some e when e <> r.got -> "!"
       | Some _ -> ""
       | None -> " "
     in
-    (match got with Test.Allowed -> "yes" | Test.Forbidden -> "no") ^ mark
+    (match r.got with Test.Allowed -> "yes" | Test.Forbidden -> "no") ^ mark
   in
   Format.fprintf ppf "%-16s" "test";
-  List.iter (fun (m : Model.t) -> Format.fprintf ppf " %-10s" m.Model.key) models;
+  List.iter
+    (fun r -> Format.fprintf ppf " %-10s" r.model.Model.key)
+    models;
   Format.fprintf ppf "@.";
   List.iter
-    (fun test ->
-      Format.fprintf ppf "%-16s" test.Test.name;
-      List.iter (fun m -> Format.fprintf ppf " %-10s" (cell test m)) models;
+    (fun tr ->
+      Format.fprintf ppf "%-16s" tr.test.Test.name;
+      List.iter
+        (fun mr ->
+          let s =
+            match
+              Hashtbl.find_opt by_cell
+                (tr.test.Test.name, mr.model.Model.key)
+            with
+            | Some r -> render r
+            | None -> "-"
+          in
+          Format.fprintf ppf " %-10s" s)
+        models;
       Format.fprintf ppf "@.")
     tests

@@ -15,16 +15,18 @@ val run_test : models:Smem_core.Model.t list -> Test.t -> result list
 (** Check one test against each model (in the given order). *)
 
 val run_all :
-  models:Smem_core.Model.t list -> Test.t list -> result list
+  ?jobs:int -> models:Smem_core.Model.t list -> Test.t list -> result list
+(** Check every test × model cell.  [jobs] (default 1) fans the cells
+    across that many worker domains; the result list is in the same
+    (test-major) order for every [jobs], so parallel runs are
+    observationally identical to serial ones. *)
 
 val mismatches : result list -> result list
 
 val pp_result : Format.formatter -> result -> unit
 
-val pp_matrix :
-  models:Smem_core.Model.t list ->
-  Format.formatter ->
-  Test.t list ->
-  unit
-(** A test × model verdict table, marking disagreements with the stated
-    expectations. *)
+val pp_matrix : Format.formatter -> result list -> unit
+(** A test × model verdict table rendered from {!run_all} results (so
+    each cell is checked exactly once), marking disagreements with the
+    stated expectations with [!].  Row and column order follow first
+    appearance in the result list; a cell with no result prints [-]. *)

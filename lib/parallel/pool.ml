@@ -1,0 +1,41 @@
+(* A minimal work pool over OCaml 5 domains.
+
+   Tasks are drawn from a shared atomic index (self-scheduling), so
+   uneven task costs — a litmus cell whose search exhausts a large
+   candidate space next to one that succeeds immediately — balance
+   across workers without any task-size tuning.  Results are written
+   into a preallocated slot per task, which keeps the output order
+   identical to the input order regardless of completion order. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some (try Ok (f input.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+let iter ~jobs f xs = ignore (map ~jobs (fun x -> f x) xs)

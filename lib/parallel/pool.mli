@@ -1,0 +1,22 @@
+(** A small fixed-size work pool over OCaml 5 domains.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] using up to
+    [jobs] domains (the calling domain included) and returns the
+    results {e in input order}, so for a pure [f] the result is
+    observationally identical to [List.map f xs] for every [jobs].
+    Tasks are self-scheduled from a shared atomic counter, which
+    balances uneven task costs without tuning.
+
+    [f] must not itself spawn unbounded domains (nested [map] calls
+    multiply workers) and, if it touches shared state, that state must
+    be domain-safe — the toolkit's checkers are pure except for the
+    {!Smem_core.Stats} atomics, which are. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [jobs <= 1] degrades to [List.map].  If [f] raises, the first
+    exception in input order is re-raised after all workers finish. *)
+
+val iter : jobs:int -> ('a -> unit) -> 'a list -> unit
