@@ -1,6 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean
+EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
+
+.PHONY: all build test bench examples fuzz-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -13,12 +15,28 @@ test:
 bench:
 	dune exec bench/main.exe
 
-examples:
-	dune exec examples/quickstart.exe
-	dune exec examples/bakery_demo.exe
-	dune exec examples/lattice_explore.exe
-	dune exec examples/litmus_tour.exe
-	dune exec examples/compose_models.exe
+# Fail fast: one shell, set -e, so the first broken example stops the
+# run with its exit code instead of letting later examples mask it.
+examples: build
+	@set -e; for ex in $(EXAMPLES); do \
+	  echo "== $$ex =="; \
+	  dune exec examples/$$ex.exe; \
+	done
+
+# The CI smoke campaign: small, seeded, must report zero violations.
+fuzz-smoke: build
+	dune exec bin/smem.exe -- fuzz --seed 42 --count 200 --stats
+
+# Formatting needs ocamlformat (version pinned in .ocamlformat).
+fmt:
+	dune fmt
+
+fmt-check:
+	dune build @fmt
+
+# What the CI workflow runs, minus the format job (ocamlformat may not
+# be installed locally).
+ci: build test examples fuzz-smoke
 
 clean:
 	dune clean

@@ -658,6 +658,124 @@ let generate_cmd =
          "Generate random litmus tests with verdicts computed by the           checkers (for corpus building and cross-tool fuzzing).")
     Term.(const run $ count $ seed $ procs $ nlocs $ maxv $ labeled $ models_arg $ out)
 
+let fuzz_cmd =
+  let module Gen = Smem_fuzz.Gen in
+  let module Campaign = Smem_fuzz.Campaign in
+  let module Oracle = Smem_fuzz.Oracle in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let count =
+    Arg.(value & opt int 500 & info [ "count" ] ~doc:"Fuzz cases to run.")
+  in
+  let max_procs =
+    Arg.(value & opt int 3 & info [ "max-procs" ] ~doc:"Largest processor count.")
+  in
+  let max_ops =
+    Arg.(
+      value & opt int 4
+      & info [ "max-ops" ] ~doc:"Largest per-processor operation count.")
+  in
+  let nlocs = Arg.(value & opt int 3 & info [ "locs" ] ~doc:"Locations (max 6).") in
+  let maxv =
+    Arg.(value & opt int 2 & info [ "max-value" ] ~doc:"Largest written value.")
+  in
+  let labels =
+    let mode_conv =
+      Arg.enum [ ("no", `No); ("mixed", `Mixed); ("separated", `Separated) ]
+    in
+    Arg.(
+      value & opt mode_conv `Separated
+      & info [ "labels" ] ~docv:"MODE"
+          ~doc:
+            "Labeling discipline: no | mixed | separated.  $(b,separated) \
+             dedicates the last location to synchronization (the \
+             properly-labeled discipline of §5, which also enables the \
+             conditional SC ⊆ RC_sc containment checks); $(b,mixed) draws \
+             the attribute per access; $(b,no) generates ordinary accesses \
+             only.")
+  in
+  let no_machines =
+    Arg.(
+      value & flag
+      & info [ "no-machines" ]
+          ~doc:"Skip machine replays (lattice oracle on random histories only).")
+  in
+  let lang_every =
+    Arg.(
+      value & opt int 3
+      & info [ "lang-every" ] ~docv:"N"
+          ~doc:
+            "Run a random structured Smem_lang program on every machine each \
+             N-th case (0 disables).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write each shrunk counterexample there as a .litmus file.")
+  in
+  let run seed count jobs max_procs max_ops nlocs maxv labels no_machines
+      lang_every out stats =
+    setup_stats stats;
+    if stats then
+      at_exit (fun () ->
+          Format.printf "@.%a@." Smem_core.Stats.pp_fuzz
+            (Smem_core.Stats.fuzz_snapshot ()));
+    let config =
+      {
+        Gen.default with
+        Gen.seed;
+        count;
+        jobs = resolve_jobs jobs;
+        max_procs;
+        max_ops;
+        nlocs;
+        max_value = maxv;
+        labels;
+        machines = not no_machines;
+        lang_every;
+      }
+    in
+    let outcome =
+      try Campaign.run config
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    in
+    Format.printf "%a@." Campaign.pp_summary outcome;
+    (match out with
+    | Some dir when outcome.Campaign.violations <> [] ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (v : Oracle.violation) ->
+            let path =
+              Filename.concat dir (v.Oracle.test.Smem_litmus.Test.name ^ ".litmus")
+            in
+            let oc = open_out path in
+            output_string oc (Smem_litmus.Print.to_string v.Oracle.test);
+            close_out oc;
+            Format.printf "wrote %s@." path)
+          outcome.Campaign.violations
+    | _ -> ());
+    if outcome.Campaign.violations <> [] then begin
+      List.iter
+        (fun v -> Format.printf "@.%a@." Oracle.pp_violation v)
+        outcome.Campaign.violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: random histories and programs \
+          cross-checked between every operational machine and its axiomatic \
+          model (soundness) and across the Figure-5 containment lattice \
+          (metamorphic); violations are shrunk to minimal replayable litmus \
+          counterexamples.")
+    Term.(
+      const run $ seed $ count $ jobs_arg $ max_procs $ max_ops $ nlocs $ maxv
+      $ labels $ no_machines $ lang_every $ out $ stats_arg)
+
 let () =
   let info =
     Cmd.info "smem" ~version:"1.0.0"
@@ -680,4 +798,5 @@ let () =
             outcomes_cmd;
             custom_cmd;
             generate_cmd;
+            fuzz_cmd;
           ]))

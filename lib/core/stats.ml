@@ -27,7 +27,21 @@ let wall_ns = A.make 0
 
 let all = [ checks; rf_candidates; co_candidates; pruned; toposorts; wall_ns ]
 
-let reset () = List.iter (fun c -> A.set c 0) all
+(* Per-oracle counters for the differential fuzzer, keyed by oracle
+   name (a machine/model pairing or a containment arrow).  The key set
+   is small and insert-rare, so the table is an immutable association
+   list swapped by compare-and-set: lookups are lock-free and bumps are
+   plain atomic increments, preserving the module's domain-safety
+   contract without a mutex. *)
+type fuzz = { pass : int; fail : int; shrink_steps : int }
+
+type fuzz_cell = { c_pass : int A.t; c_fail : int A.t; c_shrink : int A.t }
+
+let fuzz_table : (string * fuzz_cell) list A.t = A.make []
+
+let reset () =
+  List.iter (fun c -> A.set c 0) all;
+  A.set fuzz_table []
 
 let snapshot () =
   {
@@ -51,6 +65,42 @@ let diff a b =
 
 let bump c = A.incr c
 let add c n = if n > 0 then ignore (A.fetch_and_add c n)
+
+let rec fuzz_cell key =
+  let table = A.get fuzz_table in
+  match List.assoc_opt key table with
+  | Some cell -> cell
+  | None ->
+      let cell = { c_pass = A.make 0; c_fail = A.make 0; c_shrink = A.make 0 } in
+      if A.compare_and_set fuzz_table table ((key, cell) :: table) then cell
+      else fuzz_cell key
+
+let count_fuzz_pass key = bump (fuzz_cell key).c_pass
+let count_fuzz_fail key = bump (fuzz_cell key).c_fail
+let add_fuzz_shrink key n = add (fuzz_cell key).c_shrink n
+
+let fuzz_snapshot () =
+  A.get fuzz_table
+  |> List.map (fun (key, cell) ->
+         ( key,
+           {
+             pass = A.get cell.c_pass;
+             fail = A.get cell.c_fail;
+             shrink_steps = A.get cell.c_shrink;
+           } ))
+  |> List.sort compare
+
+let pp_fuzz ppf counters =
+  if counters = [] then Format.fprintf ppf "fuzz oracles: none run"
+  else begin
+    Format.fprintf ppf "@[<v>fuzz oracle counters (pass/fail/shrink steps):";
+    List.iter
+      (fun (key, f) ->
+        Format.fprintf ppf "@,  %-24s %8d %4d %4d" key f.pass f.fail
+          f.shrink_steps)
+      counters;
+    Format.fprintf ppf "@]"
+  end
 
 let count_check () = bump checks
 let count_rf () = bump rf_candidates

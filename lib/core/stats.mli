@@ -46,3 +46,23 @@ val add_wall_ns : int -> unit
 val time : (unit -> 'a) -> 'a
 (** Run the thunk and add its wall-clock duration to {!snapshot}
     [wall_ns] (also on exceptions). *)
+
+(** {1 Differential-fuzzer counters}
+
+    Pass/fail/shrink tallies keyed by oracle name — a machine/model
+    soundness pairing such as ["sound:tso"] or a lattice containment
+    arrow such as ["sc<=tso"].  Like the search counters they are
+    process-global, domain-safe, and cleared by {!reset}. *)
+
+type fuzz = { pass : int; fail : int; shrink_steps : int }
+
+val count_fuzz_pass : string -> unit
+val count_fuzz_fail : string -> unit
+
+val add_fuzz_shrink : string -> int -> unit
+(** Record [n] accepted shrinking steps for an oracle's counterexample. *)
+
+val fuzz_snapshot : unit -> (string * fuzz) list
+(** Every oracle bumped since the last {!reset}, sorted by key. *)
+
+val pp_fuzz : Format.formatter -> (string * fuzz) list -> unit

@@ -1,0 +1,82 @@
+module H = Smem_core.History
+module Machines = Smem_machine.Machines
+module Driver = Smem_machine.Driver
+module Figure5 = Smem_lattice.Figure5
+
+type outcome = {
+  cases : int;
+  histories : int;
+  machine_runs : int;
+  lattice_checks : int;
+  violations : Oracle.violation list;
+}
+
+let empty =
+  { cases = 0; histories = 0; machine_runs = 0; lattice_checks = 0; violations = [] }
+
+(* One history through the lattice oracle, with bookkeeping. *)
+let check_history ~case acc h =
+  let violations = Oracle.lattice ~case h in
+  {
+    acc with
+    histories = acc.histories + 1;
+    lattice_checks = acc.lattice_checks + List.length (Figure5.pairs h);
+    violations = acc.violations @ violations;
+  }
+
+let check_machine_trace ~case acc machine h =
+  let acc = check_history ~case acc h in
+  let acc = { acc with machine_runs = acc.machine_runs + 1 } in
+  match Oracle.soundness ~case machine h with
+  | None -> acc
+  | Some v -> { acc with violations = acc.violations @ [ v ] }
+
+let run_case (c : Gen.config) i =
+  let rand = Gen.case_rand c i in
+  let acc = { empty with cases = 1 } in
+  let acc = check_history ~case:i acc (Gen.history c ~rand) in
+  let acc =
+    if not c.machines then acc
+    else begin
+      let program = Gen.program c ~rand in
+      List.fold_left
+        (fun acc machine ->
+          let h = Driver.run_random machine program ~rand in
+          check_machine_trace ~case:i acc machine h)
+        acc Machines.all
+    end
+  in
+  if c.machines && c.lang_every > 0 && i mod c.lang_every = 0 then begin
+    let program = Gen.lang_program c ~rand in
+    List.fold_left
+      (fun acc machine ->
+        let h, _violated = Smem_lang.Explore.run_random machine program ~rand in
+        check_machine_trace ~case:i acc machine h)
+      acc Machines.all
+  end
+  else acc
+
+let merge a b =
+  {
+    cases = a.cases + b.cases;
+    histories = a.histories + b.histories;
+    machine_runs = a.machine_runs + b.machine_runs;
+    lattice_checks = a.lattice_checks + b.lattice_checks;
+    violations = a.violations @ b.violations;
+  }
+
+let run (c : Gen.config) =
+  Gen.validate c;
+  let jobs = max 1 c.jobs in
+  List.init c.count Fun.id
+  |> Smem_parallel.Pool.map ~jobs (run_case c)
+  |> List.fold_left merge empty
+
+let pp_summary ppf o =
+  Format.fprintf ppf
+    "@[<v>fuzz campaign: %d case(s), %d history(ies) checked@,\
+     machine replays        %d@,\
+     containment checks     %d@,\
+     oracle violations      %d@]"
+    o.cases o.histories o.machine_runs o.lattice_checks
+    (List.length o.violations)

@@ -1,0 +1,34 @@
+(** Running a fuzz campaign: generate cases, drive the oracles, fan
+    out over the Domain pool, aggregate.
+
+    A campaign with configuration [c] runs [c.count] cases.  Case [i]
+    derives its own PRNG from [(c.seed, i)] and, from it:
+
+    + generates a random history and runs the lattice oracle on it;
+    + when [c.machines] is set, generates a random straight-line
+      program, replays it on {e every} machine under a random schedule,
+      and runs the soundness oracle (machine trace ⊆ machine's model)
+      plus the lattice oracle on each recorded trace;
+    + every [c.lang_every]-th case, additionally compiles a random
+      structured [Smem_lang] program, runs it on every machine, and
+      applies the same two oracles to the recorded traces.
+
+    Cases are independent, so they fan out over [c.jobs] worker domains
+    ({!Smem_parallel.Pool}); verdicts, violation order and shrink
+    results are identical for every [jobs] value. *)
+
+type outcome = {
+  cases : int;  (** cases executed *)
+  histories : int;  (** histories checked, all sources *)
+  machine_runs : int;  (** machine random-schedule replays *)
+  lattice_checks : int;  (** containment pairs evaluated *)
+  violations : Oracle.violation list;  (** in case order *)
+}
+
+val run : Gen.config -> outcome
+(** Run a campaign.  @raise Invalid_argument on a bad configuration
+    (see {!Gen.validate}). *)
+
+val pp_summary : Format.formatter -> outcome -> unit
+(** One-paragraph totals; violations are {e not} printed (iterate
+    [outcome.violations] with {!Oracle.pp_violation}). *)

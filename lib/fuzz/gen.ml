@@ -1,0 +1,133 @@
+module H = Smem_core.History
+module Op = Smem_core.Op
+module Driver = Smem_machine.Driver
+
+type labels = [ `No | `Mixed | `Separated ]
+
+type config = {
+  seed : int;
+  count : int;
+  jobs : int;
+  min_procs : int;
+  max_procs : int;
+  min_ops : int;
+  max_ops : int;
+  nlocs : int;
+  max_value : int;
+  labels : labels;
+  machines : bool;
+  lang_every : int;
+}
+
+let default =
+  {
+    seed = 42;
+    count = 100;
+    jobs = 1;
+    min_procs = 2;
+    max_procs = 3;
+    min_ops = 1;
+    max_ops = 4;
+    nlocs = 3;
+    max_value = 2;
+    labels = `Separated;
+    machines = true;
+    lang_every = 3;
+  }
+
+let loc_pool = [| "x"; "y"; "z"; "u"; "v"; "w" |]
+
+let validate c =
+  let fail msg = invalid_arg ("Gen: " ^ msg) in
+  if c.count < 0 then fail "count must be non-negative";
+  if c.min_procs < 1 || c.max_procs < c.min_procs then
+    fail "need 1 <= min_procs <= max_procs";
+  if c.min_ops < 1 || c.max_ops < c.min_ops then
+    fail "need 1 <= min_ops <= max_ops";
+  if c.nlocs < 1 || c.nlocs > Array.length loc_pool then
+    fail "between 1 and 6 locations";
+  if c.max_value < 1 then fail "max_value must be at least 1";
+  if c.lang_every < 0 then fail "lang_every must be non-negative"
+
+let case_rand c index = Random.State.make [| c.seed; index |]
+
+let int_range rand lo hi = lo + Random.State.int rand (hi - lo + 1)
+
+(* [List.init]/[List.map] do not specify their application order; the
+   generators need one (the PRNG stream is part of the reproducibility
+   contract), so lists of draws are built by an explicit loop. *)
+let gen_list n f =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f () :: acc) in
+  go n []
+
+let pick_labeled c rand loc =
+  match c.labels with
+  | `No -> false
+  | `Mixed -> Random.State.bool rand
+  | `Separated -> loc = c.nlocs - 1
+
+(* Draws are sequenced explicitly (rows, then per-row ops, left to
+   right) so the PRNG consumption order is part of the format: a case
+   index reproduces its history bit-for-bit. *)
+let history c ~rand =
+  let nprocs = int_range rand c.min_procs c.max_procs in
+  let written : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let note_write loc v =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt written loc) in
+    Hashtbl.replace written loc (v :: prev)
+  in
+  let read_value loc =
+    if Random.State.int rand 4 = 0 then Random.State.int rand (c.max_value + 1)
+    else
+      let candidates =
+        0 :: Option.value ~default:[] (Hashtbl.find_opt written loc)
+      in
+      List.nth candidates (Random.State.int rand (List.length candidates))
+  in
+  let event () =
+    let loc = Random.State.int rand c.nlocs in
+    let labeled = pick_labeled c rand loc in
+    if Random.State.bool rand then begin
+      let v = int_range rand 1 c.max_value in
+      note_write loc v;
+      H.write ~labeled loc_pool.(loc) v
+    end
+    else H.read ~labeled loc_pool.(loc) (read_value loc)
+  in
+  let rows =
+    gen_list nprocs (fun () ->
+        let n = int_range rand c.min_ops c.max_ops in
+        gen_list n event)
+  in
+  H.make rows
+
+let program c ~rand =
+  let nprocs = int_range rand c.min_procs c.max_procs in
+  let next_value = ref 0 in
+  let instr () =
+    let loc = Random.State.int rand c.nlocs in
+    let labeled = pick_labeled c rand loc in
+    if Random.State.bool rand then begin
+      incr next_value;
+      { Driver.kind = Op.Write; loc; value = !next_value; labeled }
+    end
+    else { Driver.kind = Op.Read; loc; value = 0; labeled }
+  in
+  let code =
+    gen_list nprocs (fun () ->
+        let n = int_range rand c.min_ops c.max_ops in
+        gen_list n instr)
+    |> Array.of_list
+  in
+  {
+    Driver.nprocs;
+    nlocs = c.nlocs;
+    loc_names = Array.sub loc_pool 0 c.nlocs;
+    code;
+  }
+
+let lang_program c ~rand =
+  let nprocs = int_range rand c.min_procs c.max_procs in
+  let len = int_range rand c.min_ops (max c.min_ops (c.max_ops - 1)) in
+  Smem_lang.Programs.random ~rand ~nprocs ~nlocs:c.nlocs ~len ~labels:c.labels
+    ()

@@ -1,0 +1,98 @@
+module H = Smem_core.History
+module Op = Smem_core.Op
+
+(* A concrete, transformable mirror of a history: one row of
+   (kind, location name, value, labeled) per processor. *)
+type cell = { kind : Op.kind; loc : string; value : int; labeled : bool }
+
+let rows_of_history h =
+  List.init (H.nprocs h) (fun p ->
+      H.proc_ops h p |> Array.to_list
+      |> List.map (fun id ->
+             let op = H.op h id in
+             {
+               kind = op.Op.kind;
+               loc = H.loc_name h op.Op.loc;
+               value = op.Op.value;
+               labeled = Op.is_labeled op;
+             }))
+
+let history_of_rows rows =
+  let event c =
+    match c.kind with
+    | Op.Read -> H.read ~labeled:c.labeled c.loc c.value
+    | Op.Write -> H.write ~labeled:c.labeled c.loc c.value
+  in
+  H.make (List.map (List.map event) rows)
+
+(* All one-step reductions of [rows], in the order they are tried.
+   Dropping never yields an empty history: a row emptied by an
+   operation drop is removed only when others remain, and the last
+   operation overall is never dropped. *)
+let candidates rows =
+  let nprocs = List.length rows in
+  let nops = List.fold_left (fun n row -> n + List.length row) 0 rows in
+  let without i xs = List.filteri (fun j _ -> j <> i) xs in
+  let drop_proc =
+    if nprocs <= 1 then []
+    else List.init nprocs (fun p -> without p rows)
+  in
+  let drop_op =
+    if nops <= 1 then []
+    else
+      List.concat
+        (List.mapi
+           (fun p row ->
+             List.init (List.length row) (fun i ->
+                 let row' = without i row in
+                 if row' = [] && nprocs > 1 then without p rows
+                 else
+                   List.mapi (fun q r -> if q = p then row' else r) rows))
+           rows)
+  in
+  let replace_op p i cell =
+    List.mapi
+      (fun q row ->
+        if q <> p then row
+        else List.mapi (fun j c -> if j = i then cell else c) row)
+      rows
+  in
+  let tweak f =
+    List.concat
+      (List.mapi
+         (fun p row ->
+           List.concat
+             (List.mapi
+                (fun i c ->
+                  List.map (fun c' -> replace_op p i c') (f c))
+                row))
+         rows)
+  in
+  let lower_value =
+    tweak (fun c ->
+        if c.value <= 0 then []
+        else if c.value = 1 then [ { c with value = 0 } ]
+        else [ { c with value = 0 }; { c with value = c.value - 1 } ])
+  in
+  let unlabel = tweak (fun c -> if c.labeled then [ { c with labeled = false } ] else []) in
+  drop_proc @ drop_op @ lower_value @ unlabel
+
+let shrink ~keep h =
+  if not (keep h) then (h, 0)
+  else begin
+    let rows = ref (rows_of_history h) in
+    let steps = ref 0 in
+    let rec improve () =
+      let next =
+        List.find_opt (fun c -> keep (history_of_rows c)) (candidates !rows)
+      in
+      match next with
+      | Some c ->
+          rows := c;
+          incr steps;
+          improve ()
+      | None -> ()
+    in
+    improve ();
+    (history_of_rows !rows, !steps)
+  end

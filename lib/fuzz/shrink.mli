@@ -1,0 +1,24 @@
+(** Greedy counterexample minimization for histories.
+
+    [shrink ~keep h] repeatedly applies the first size- or
+    value-reducing transformation that preserves [keep] — drop a whole
+    processor, drop one operation, lower a value (to [0], then by one),
+    strip a label — until no single step preserves it, and returns the
+    fixpoint with the number of accepted steps.
+
+    Guarantees, relied on by the fuzzer's tests:
+    - the result satisfies [keep] whenever the input does (if the input
+      does not, the input is returned unchanged with [0] steps);
+    - the result never has more operations, processors, larger values
+      or more labels than the input;
+    - the procedure is deterministic: candidates are tried in a fixed
+      order and the first acceptable one is taken.
+
+    [keep] must be total; an exception escaping it aborts the shrink.
+    Real-time intervals are not preserved (fuzzed histories carry
+    none). *)
+
+val shrink :
+  keep:(Smem_core.History.t -> bool) ->
+  Smem_core.History.t ->
+  Smem_core.History.t * int

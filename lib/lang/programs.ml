@@ -128,6 +128,95 @@ let tas_spinlock () =
   in
   { shared = [ ("lock", 1) ]; threads = Array.init 2 thread }
 
+(* Random loop-free programs for differential fuzzing.  Structured
+   control flow (bounded [For] loops, [If] on loaded values) exercises
+   the interpreter paths straight-line Driver programs cannot, while
+   guaranteeing termination on every machine.  Write values are drawn
+   from a per-program counter so reads-from maps stay near-unambiguous
+   and the axiomatic replay of the recorded trace is cheap. *)
+let random ~rand ?(nprocs = 2) ?(nlocs = 3) ?(len = 3) ?(labels = `Separated)
+    () =
+  let pool = [| "x"; "y"; "z"; "u"; "v"; "w" |] in
+  if nlocs < 1 || nlocs > Array.length pool then
+    invalid_arg "Programs.random: between 1 and 6 locations";
+  if nprocs < 1 then invalid_arg "Programs.random: at least one thread";
+  let next_value = ref 0 in
+  let fresh_value () =
+    incr next_value;
+    !next_value
+  in
+  let pick_loc () = Random.State.int rand nlocs in
+  let labeled_for loc =
+    match labels with
+    | `No -> false
+    | `Mixed -> Random.State.bool rand
+    | `Separated -> loc = nlocs - 1
+  in
+  let thread t =
+    let next_reg = ref 0 in
+    let fresh_reg () =
+      incr next_reg;
+      Printf.sprintf "r%d_%d" t !next_reg
+    in
+    let access () =
+      let loc = pick_loc () in
+      let labeled = labeled_for loc in
+      if Random.State.bool rand then
+        store ~labeled (var pool.(loc)) (Int (fresh_value ()))
+      else load ~labeled (fresh_reg ()) (var pool.(loc))
+    in
+    let group () =
+      match Random.State.int rand 10 with
+      | 0 | 1 ->
+          (* Two-iteration loop; the written value varies with the
+             loop register so both iterations stay distinguishable. *)
+          let loc = pick_loc () in
+          let i = fresh_reg () in
+          let base = fresh_value () in
+          ignore (fresh_value ());
+          [
+            For
+              {
+                var = i;
+                from_ = Int 0;
+                to_ = Int 1;
+                body =
+                  [
+                    store ~labeled:(labeled_for loc) (var pool.(loc))
+                      (Add (Int base, Reg i));
+                  ];
+              };
+          ]
+      | 2 ->
+          (* Branch on an observed value; both arms terminate.  The
+             draws are let-bound so the PRNG consumption order is fixed
+             (constructor arguments have no specified order). *)
+          let loc = pick_loc () in
+          let r = fresh_reg () in
+          let ld = load ~labeled:(labeled_for loc) r (var pool.(loc)) in
+          let then_ = access () in
+          let else_ = access () in
+          [ ld; If (Eq (Reg r, Int 0), [ then_ ], [ else_ ]) ]
+      | _ -> [ access () ]
+    in
+    (* built by an explicit loop: the PRNG consumption order is part of
+       the reproducibility contract, and [List.init] does not specify
+       its application order *)
+    let rec build k acc =
+      if k = 0 then List.concat (List.rev acc)
+      else build (k - 1) (group () :: acc)
+    in
+    build len []
+  in
+  let rec threads k acc =
+    if k = 0 then Array.of_list (List.rev acc)
+    else threads (k - 1) (thread (nprocs - k) :: acc)
+  in
+  {
+    shared = List.init nlocs (fun l -> (pool.(l), 1));
+    threads = threads nprocs [];
+  }
+
 let naive_flags ?(labeled = true) () =
   let thread i =
     let j = 1 - i in

@@ -24,6 +24,24 @@ val tas_spinlock : unit -> Ast.program
     including TSO and RC_pc, where read/write-only mutual exclusion
     fails. *)
 
+val random :
+  rand:Random.State.t ->
+  ?nprocs:int ->
+  ?nlocs:int ->
+  ?len:int ->
+  ?labels:[ `No | `Mixed | `Separated ] ->
+  unit ->
+  Ast.program
+(** A random loop-free program for differential fuzzing: [len]
+    statement groups per thread drawn from plain loads/stores,
+    two-iteration [For] loops, and [If] branches on loaded values —
+    always terminating, on every machine.  [`Separated] (the default)
+    dedicates the last location to labeled (synchronization) accesses
+    and keeps the rest ordinary — the properly-labeled discipline of
+    §5; [`Mixed] draws the attribute per access; [`No] generates only
+    ordinary accesses.  Deterministic in [rand].
+    @raise Invalid_argument unless [1 <= nlocs <= 6] and [nprocs >= 1]. *)
+
 val naive_flags : ?labeled:bool -> unit -> Ast.program
 (** The broken "set my flag, check yours" protocol — a negative control
     that violates mutual exclusion even on sequentially consistent

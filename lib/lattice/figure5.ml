@@ -1,0 +1,97 @@
+module H = Smem_core.History
+module Op = Smem_core.Op
+
+type containment = {
+  stronger : string;
+  weaker : string;
+  proper_labels_only : bool;
+}
+
+let model_keys = [ "sc"; "tso"; "pc"; "rc-sc"; "rc-pc"; "causal"; "pram" ]
+
+let edge ?(proper = false) stronger weaker =
+  { stronger; weaker; proper_labels_only = proper }
+
+let hasse =
+  [
+    edge "sc" "tso";
+    edge ~proper:true "sc" "rc-sc";
+    edge "tso" "pc";
+    edge "tso" "causal";
+    edge "rc-sc" "rc-pc";
+    edge "pc" "pram";
+    edge "causal" "pram";
+  ]
+
+(* Transitive closure over two path strengths: a pair holds
+   unconditionally iff some Hasse path to it uses only unconditional
+   edges; it holds under proper labeling iff any path exists at all. *)
+let containments =
+  let keys = Array.of_list model_keys in
+  let n = Array.length keys in
+  let index k =
+    let rec go i = if keys.(i) = k then i else go (i + 1) in
+    go 0
+  in
+  let strong = Array.make_matrix n n false in
+  let any = Array.make_matrix n n false in
+  List.iter
+    (fun c ->
+      let i = index c.stronger and j = index c.weaker in
+      any.(i).(j) <- true;
+      if not c.proper_labels_only then strong.(i).(j) <- true)
+    hasse;
+  let close m =
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if m.(i).(k) && m.(k).(j) then m.(i).(j) <- true
+        done
+      done
+    done
+  in
+  close strong;
+  close any;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if any.(i).(j) then
+        acc :=
+          {
+            stronger = keys.(i);
+            weaker = keys.(j);
+            proper_labels_only = not strong.(i).(j);
+          }
+          :: !acc
+    done
+  done;
+  !acc
+
+let properly_labeled h =
+  let n = H.nlocs h in
+  let labeled = Array.make n false in
+  let ordinary = Array.make n false in
+  Array.iter
+    (fun (o : Op.t) ->
+      if Op.is_labeled o then labeled.(o.Op.loc) <- true
+      else ordinary.(o.Op.loc) <- true)
+    (H.ops h);
+  let ok = ref true in
+  for l = 0 to n - 1 do
+    if labeled.(l) && ordinary.(l) then ok := false
+  done;
+  !ok
+
+let resolve key =
+  match Smem_core.Registry.find key with
+  | Some m -> m
+  | None -> invalid_arg ("Figure5: model key not in registry: " ^ key)
+
+let all_pairs ~proper_labels =
+  List.filter_map
+    (fun c ->
+      if c.proper_labels_only && not proper_labels then None
+      else Some (resolve c.stronger, resolve c.weaker))
+    containments
+
+let pairs h = all_pairs ~proper_labels:(properly_labeled h)

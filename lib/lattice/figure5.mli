@@ -1,0 +1,52 @@
+(** The containment lattice of the paper's Figure 5 as {e data}.
+
+    {!Classify} recomputes the lattice empirically by exhaustive
+    enumeration; this module states it, so that other components — the
+    differential fuzzer above all — can use the paper's theorems as a
+    metamorphic oracle: a history allowed by a stronger model must be
+    allowed by every weaker one.
+
+    One containment is conditional.  [SC ⊆ RC_sc] (and transitively
+    [SC ⊆ RC_pc]) holds only for {e properly labeled} histories, where
+    synchronization locations are disjoint from data locations; for
+    arbitrary labelings an acquire may legally (under SC) read an
+    ordinary write to a location that also carries labeled writes, which
+    RC_sc forbids (EXPERIMENTS.md §3).  Such containments are marked
+    [proper_labels_only] and must be asserted only on histories
+    satisfying {!properly_labeled}. *)
+
+type containment = {
+  stronger : string;  (** model key whose history set is contained *)
+  weaker : string;  (** model key whose history set contains it *)
+  proper_labels_only : bool;
+      (** holds only on {!properly_labeled} histories *)
+}
+
+val model_keys : string list
+(** The seven models of Figure 5: [sc], [tso], [pc], [rc-sc], [rc-pc],
+    [causal], [pram]. *)
+
+val hasse : containment list
+(** The edges of Figure 5 (transitive reduction): SC → TSO, SC → RC_sc
+    (properly labeled), TSO → PC, TSO → Causal, RC_sc → RC_pc,
+    PC → PRAM, Causal → PRAM. *)
+
+val containments : containment list
+(** The transitive closure of {!hasse}.  A closure pair is
+    [proper_labels_only] iff every Hasse path establishing it crosses a
+    conditional edge. *)
+
+val properly_labeled : Smem_core.History.t -> bool
+(** Synchronization discipline of the paper's §5: every location is
+    accessed either only by labeled operations or only by ordinary
+    ones.  Histories with no labeled operation qualify trivially. *)
+
+val pairs :
+  Smem_core.History.t -> (Smem_core.Model.t * Smem_core.Model.t) list
+(** The containments applicable to a history — all unconditional pairs,
+    plus the conditional ones when the history is properly labeled —
+    resolved against {!Smem_core.Registry} as
+    [(stronger, weaker)] model pairs. *)
+
+val all_pairs : proper_labels:bool -> (Smem_core.Model.t * Smem_core.Model.t) list
+(** Same resolution from an explicit flag instead of a history. *)

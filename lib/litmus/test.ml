@@ -10,6 +10,9 @@ type t = {
 let make ~name ?(doc = "") ~expect rows =
   { name; doc; history = Smem_core.History.make rows; expectations = expect }
 
+let of_history ~name ?(doc = "") ~expect history =
+  { name; doc; history; expectations = expect }
+
 let expected t key = List.assoc_opt key t.expectations
 
 let pp_verdict ppf = function

@@ -22,6 +22,15 @@ val make :
 (** Build a test from per-processor event rows (see
     {!Smem_core.History.make}). *)
 
+val of_history :
+  name:string ->
+  ?doc:string ->
+  expect:(string * verdict) list ->
+  Smem_core.History.t ->
+  t
+(** Wrap an existing history as a test — how the fuzzer renders a
+    shrunk counterexample as a replayable litmus file. *)
+
 val expected : t -> string -> verdict option
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -15,4 +15,12 @@ let name (module M : Machine_sig.MACHINE) = M.name
 
 let model_key (module M : Machine_sig.MACHINE) = M.model_key
 
+let model (module M : Machine_sig.MACHINE) =
+  match Smem_core.Registry.find M.model_key with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Machines.model: machine %s names unknown model %S"
+           M.name M.model_key)
+
 let find key = List.find_opt (fun m -> name m = key) all

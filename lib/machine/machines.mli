@@ -10,3 +10,10 @@ val find : string -> Machine_sig.machine option
 
 val name : Machine_sig.machine -> string
 val model_key : Machine_sig.machine -> string
+
+val model : Machine_sig.machine -> Smem_core.Model.t
+(** The axiomatic model whose history set must contain the machine's
+    traces — {!model_key} resolved against {!Smem_core.Registry}.  This
+    is the pairing the soundness fuzzer replays: any machine trace the
+    model rejects is a bug in one of the two.
+    @raise Invalid_argument if the key is not registered. *)

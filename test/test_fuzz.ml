@@ -1,0 +1,259 @@
+(* Tests of the differential fuzzer: generator reproducibility, shrinker
+   guarantees, oracle catches (a deliberately flipped containment must be
+   found, shrunk, and replayable from its litmus rendering), and
+   campaign determinism. *)
+
+module H = Smem_core.History
+module Model = Smem_core.Model
+module Registry = Smem_core.Registry
+module Stats = Smem_core.Stats
+module Figure5 = Smem_lattice.Figure5
+module Gen = Smem_fuzz.Gen
+module Shrink = Smem_fuzz.Shrink
+module Oracle = Smem_fuzz.Oracle
+module Campaign = Smem_fuzz.Campaign
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let model key =
+  match Registry.find key with
+  | Some m -> m
+  | None -> Alcotest.failf "model %s missing" key
+
+let show_history h = Format.asprintf "%a" H.pp h
+
+(* A small campaign configuration so the suite stays fast. *)
+let small = { Gen.default with Gen.count = 40; max_ops = 3 }
+
+(* ---------------- Figure 5 as data ---------------- *)
+
+let figure5_closure () =
+  let find s w =
+    List.find_opt
+      (fun (c : Figure5.containment) -> c.stronger = s && c.weaker = w)
+      Figure5.containments
+  in
+  let assert_pair s w proper =
+    match find s w with
+    | None -> Alcotest.failf "missing containment %s <= %s" s w
+    | Some c ->
+        check Alcotest.bool
+          (Printf.sprintf "%s <= %s proper-only flag" s w)
+          proper c.Figure5.proper_labels_only
+  in
+  (* transitive closure of the Hasse diagram, with conditionality
+     propagated through the SC -> RC_sc edge *)
+  assert_pair "sc" "tso" false;
+  assert_pair "sc" "pram" false;
+  assert_pair "tso" "causal" false;
+  assert_pair "rc-sc" "rc-pc" false;
+  assert_pair "sc" "rc-sc" true;
+  assert_pair "sc" "rc-pc" true;
+  check Alcotest.bool "no pc <= causal" true (find "pc" "causal" = None);
+  check Alcotest.bool "no tso <= rc-sc" true (find "tso" "rc-sc" = None);
+  (* sc reaches all six others (two conditionally), tso three, and
+     pc, causal, rc-sc one each *)
+  check Alcotest.int "twelve containments" 12 (List.length Figure5.containments)
+
+let figure5_properly_labeled () =
+  let proper =
+    H.make
+      [
+        [ H.write "x" 1; H.write ~labeled:true "s" 1 ];
+        [ H.read ~labeled:true "s" 1; H.read "x" 1 ];
+      ]
+  in
+  let mixed =
+    H.make [ [ H.write "x" 1; H.write ~labeled:true "x" 2 ]; [ H.read "x" 2 ] ]
+  in
+  check Alcotest.bool "disjoint sync locations qualify" true
+    (Figure5.properly_labeled proper);
+  check Alcotest.bool "mixed location disqualifies" false
+    (Figure5.properly_labeled mixed);
+  check Alcotest.bool "unlabeled history qualifies trivially" true
+    (Figure5.properly_labeled (H.make [ [ H.write "x" 1 ]; [ H.read "x" 0 ] ]));
+  (* conditional pairs appear exactly when the history qualifies *)
+  let keys h =
+    List.map
+      (fun ((s : Model.t), (w : Model.t)) -> (s.Model.key, w.Model.key))
+      (Figure5.pairs h)
+  in
+  check Alcotest.bool "sc<=rc-sc asserted on proper history" true
+    (List.mem ("sc", "rc-sc") (keys proper));
+  check Alcotest.bool "sc<=rc-sc skipped on mixed history" false
+    (List.mem ("sc", "rc-sc") (keys mixed));
+  check Alcotest.bool "rc-sc<=rc-pc always asserted" true
+    (List.mem ("rc-sc", "rc-pc") (keys mixed))
+
+(* ---------------- generator reproducibility ---------------- *)
+
+let gen_reproducible () =
+  let histories seed =
+    List.init 20 (fun i ->
+        show_history (Gen.history small ~rand:(Gen.case_rand small i))
+        |> fun s -> (seed, s))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "same seed, same histories" (histories 0) (histories 0);
+  let h1 = Gen.history small ~rand:(Gen.case_rand small 1) in
+  let h2 = Gen.history small ~rand:(Gen.case_rand small 2) in
+  check Alcotest.bool "different cases differ (seeded independently)" true
+    (show_history h1 <> show_history h2)
+
+(* ---------------- shrinker guarantees ---------------- *)
+
+(* Store buffering: allowed by PRAM (and TSO), forbidden by SC — the
+   canonical witness for a flipped PRAM <= SC containment. *)
+let sb_padded () =
+  H.make
+    [
+      [ H.write "x" 1; H.read "y" 0; H.write "z" 2 ];
+      [ H.write "y" 1; H.read "x" 0 ];
+      [ H.read "z" 2 ];
+    ]
+
+let violates_flipped h = Model.check (model "pram") h && not (Model.check (model "sc") h)
+
+let shrink_preserves_violation () =
+  let h = sb_padded () in
+  check Alcotest.bool "input violates" true (violates_flipped h);
+  let shrunk, steps = Shrink.shrink ~keep:violates_flipped h in
+  check Alcotest.bool "shrunk still violates" true (violates_flipped shrunk);
+  check Alcotest.bool "no larger than input" true (H.nops shrunk <= H.nops h);
+  check Alcotest.bool "took at least one step" true (steps > 0);
+  (* the padding (p2 and the z traffic) must be gone: minimal SB is the
+     4-operation core on two processors *)
+  check Alcotest.int "minimal size" 4 (H.nops shrunk);
+  check Alcotest.int "minimal processors" 2 (H.nprocs shrunk)
+
+let shrink_deterministic () =
+  let h = sb_padded () in
+  let s1, n1 = Shrink.shrink ~keep:violates_flipped h in
+  let s2, n2 = Shrink.shrink ~keep:violates_flipped h in
+  check Alcotest.string "same result" (show_history s1) (show_history s2);
+  check Alcotest.int "same steps" n1 n2
+
+let shrink_rejects_nonviolating () =
+  let h = sb_padded () in
+  let shrunk, steps = Shrink.shrink ~keep:(fun _ -> false) h in
+  check Alcotest.string "input returned unchanged" (show_history h)
+    (show_history shrunk);
+  check Alcotest.int "zero steps" 0 steps
+
+(* ---------------- oracle catches a broken lattice ---------------- *)
+
+let broken_containment_caught () =
+  Stats.reset ();
+  (* Flip PRAM <= SC — a deliberately broken model relation; the
+     metamorphic oracle must catch it on the canonical SB history and
+     shrink the counterexample. *)
+  let pairs = [ (model "pram", model "sc") ] in
+  let violations = Oracle.lattice ~pairs ~case:0 (sb_padded ()) in
+  match violations with
+  | [ v ] ->
+      (match v.Oracle.kind with
+      | Oracle.Containment { stronger = "pram"; weaker = "sc" } -> ()
+      | _ -> Alcotest.fail "wrong violation kind");
+      check Alcotest.int "shrunk to minimal SB" 4 (H.nops v.Oracle.shrunk);
+      check Alcotest.bool "shrunk still violates" true
+        (violates_flipped v.Oracle.shrunk);
+      check Alcotest.bool "shrink steps recorded" true (v.Oracle.shrink_steps > 0);
+      (* replayable: parse the printed litmus text back and the verdict
+         mismatch reproduces on the round-tripped history *)
+      let text = Smem_litmus.Print.to_string v.Oracle.test in
+      (match Smem_litmus.Parse.test_of_string text with
+      | Error e ->
+          Alcotest.failf "unparseable counterexample: %a"
+            (fun ppf -> Smem_litmus.Parse.pp_error ppf)
+            e
+      | Ok t ->
+          let h = t.Smem_litmus.Test.history in
+          check Alcotest.bool "replay: pram allows" true
+            (Model.check (model "pram") h);
+          check Alcotest.bool "replay: sc rejects (the recorded mismatch)"
+            false
+            (Model.check (model "sc") h));
+      (* the failure and its shrink work landed in the stats table *)
+      let counters = Stats.fuzz_snapshot () in
+      (match List.assoc_opt "pram<=sc" counters with
+      | Some f ->
+          check Alcotest.int "one failure counted" 1 f.Stats.fail;
+          check Alcotest.bool "shrink steps counted" true (f.Stats.shrink_steps > 0)
+      | None -> Alcotest.fail "no pram<=sc counter")
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+(* ---------------- campaigns ---------------- *)
+
+let campaign_clean () =
+  Stats.reset ();
+  let o = Campaign.run small in
+  check Alcotest.int "all cases ran" small.Gen.count o.Campaign.cases;
+  check Alcotest.bool "histories from all sources" true
+    (o.Campaign.histories > small.Gen.count);
+  check Alcotest.bool "machines replayed" true (o.Campaign.machine_runs > 0);
+  check Alcotest.bool "containments evaluated" true (o.Campaign.lattice_checks > 0);
+  check
+    (Alcotest.list Alcotest.pass)
+    "no violations" [] o.Campaign.violations;
+  (* counters: every soundness oracle ran and nothing failed *)
+  let counters = Stats.fuzz_snapshot () in
+  List.iter
+    (fun m ->
+      let key = "sound:" ^ Smem_machine.Machines.name m in
+      match List.assoc_opt key counters with
+      | Some f ->
+          check Alcotest.bool (key ^ " ran") true (f.Stats.pass > 0);
+          check Alcotest.int (key ^ " clean") 0 f.Stats.fail
+      | None -> Alcotest.failf "no %s counter" key)
+    Smem_machine.Machines.all;
+  (match List.assoc_opt "sc<=tso" counters with
+  | Some f -> check Alcotest.int "sc<=tso clean" 0 f.Stats.fail
+  | None -> Alcotest.fail "no sc<=tso counter")
+
+let campaign_deterministic () =
+  let show o =
+    Format.asprintf "%a|%d" Campaign.pp_summary o
+      (List.length o.Campaign.violations)
+  in
+  let o1 = Campaign.run { small with Gen.jobs = 1 } in
+  let o2 = Campaign.run { small with Gen.jobs = 4 } in
+  check Alcotest.string "jobs do not change the outcome" (show o1) (show o2)
+
+let campaign_mixed_labels_clean () =
+  (* Mixed labelings drop the conditional RC containments and the RC
+     soundness checks (EXPERIMENTS.md §3) but everything else must
+     hold. *)
+  let o = Campaign.run { small with Gen.labels = `Mixed; count = 25 } in
+  check (Alcotest.list Alcotest.pass) "no violations" [] o.Campaign.violations
+
+let campaign_validates () =
+  Alcotest.check_raises "bad scope rejected"
+    (Invalid_argument "Gen: between 1 and 6 locations") (fun () ->
+      ignore (Campaign.run { small with Gen.nlocs = 7 }))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "figure5",
+        [
+          tc "closure and flags" figure5_closure;
+          tc "properly-labeled gating" figure5_properly_labeled;
+        ] );
+      ("gen", [ tc "seed reproducibility" gen_reproducible ]);
+      ( "shrink",
+        [
+          tc "preserves violation, minimizes" shrink_preserves_violation;
+          tc "deterministic" shrink_deterministic;
+          tc "non-violating input untouched" shrink_rejects_nonviolating;
+        ] );
+      ("oracle", [ tc "flipped containment caught" broken_containment_caught ]);
+      ( "campaign",
+        [
+          tc "clean at seed 42" campaign_clean;
+          tc "deterministic across jobs" campaign_deterministic;
+          tc "mixed labels clean" campaign_mixed_labels_clean;
+          tc "config validated" campaign_validates;
+        ] );
+    ]
