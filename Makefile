@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench examples fuzz-smoke fmt fmt-check ci clean
+.PHONY: all build test bench examples fuzz-smoke certs fmt fmt-check ci clean
 
 all: build
 
@@ -27,6 +27,12 @@ examples: build
 fuzz-smoke: build
 	dune exec bin/smem.exe -- fuzz --seed 42 --count 200 --stats
 
+# Emit the full corpus certificate set (kernel-checked on emission)
+# and audit every file offline with the independent kernel.
+certs: build
+	dune exec bin/smem.exe -- corpus --certify _build/certs
+	dune exec bin/smem.exe -- cert verify _build/certs/*.cert
+
 # Formatting needs ocamlformat (version pinned in .ocamlformat).
 fmt:
 	dune fmt
@@ -36,7 +42,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke
+ci: build test examples fuzz-smoke certs
 
 clean:
 	dune clean

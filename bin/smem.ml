@@ -15,6 +15,8 @@ module Witness = Smem_core.Witness
 module Registry = Smem_core.Registry
 module Test = Smem_litmus.Test
 module Corpus = Smem_litmus.Corpus
+module Cert = Smem_cert.Cert
+module Kernel = Smem_cert.Kernel
 module RunnerL = Smem_litmus.Runner
 module Machines = Smem_machine.Machines
 module Driver = Smem_machine.Driver
@@ -101,6 +103,62 @@ let load_test source =
         | Error e -> Error (Format.asprintf "%s: %a" source Smem_litmus.Parse.pp_error e)
       else Error (Printf.sprintf "no corpus test or file named %S" source)
 
+let cert_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sexp", `Sexp); ("json", `Json) ]) `Sexp
+    & info [ "cert-format" ] ~docv:"FMT"
+        ~doc:"Certificate serialization: $(b,sexp) or $(b,json).")
+
+let certify_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "certify" ] ~docv:"DIR"
+        ~doc:
+          "Emit a verdict certificate per test × model into $(docv) as \
+           <test>.<model>.cert, re-validating each with the independent \
+           kernel before writing.  Exits nonzero if the kernel rejects \
+           one.  Models without a declared parameter triple are skipped.")
+
+(* Certify every test × model cell into [dir], kernel-checking each
+   certificate before it is written.  Exits 1 if the kernel rejects any
+   (that would mean the engine and the kernel disagree — exactly the bug
+   class certificates exist to catch). *)
+let certify_all ~dir ~format ~models tests =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written = ref 0 and skipped = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun (t : Test.t) ->
+      List.iter
+        (fun (m : Model.t) ->
+          match RunnerL.certify t m with
+          | None -> incr skipped
+          | Some c -> (
+              match Kernel.verify c with
+              | Error reason ->
+                  Format.eprintf "certificate REJECTED (%s under %s): %s@."
+                    t.Test.name m.Model.key reason;
+                  incr rejected
+              | Ok _ ->
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "%s.%s.cert" t.Test.name m.Model.key)
+                  in
+                  let oc = open_out path in
+                  output_string oc (Cert.to_string ~format c);
+                  close_out oc;
+                  incr written))
+        models)
+    tests;
+  Format.printf
+    "%d certificate(s) written to %s (%d cell(s) uncertifiable)@." !written
+    dir !skipped;
+  if !rejected > 0 then begin
+    Format.eprintf "%d certificate(s) rejected by the kernel@." !rejected;
+    exit 1
+  end
+
 (* An algorithm argument is a library name (bakery, peterson, dekker,
    naive, spinlock) or a path to a .smem program file. *)
 let load_program name ~labeled ~n =
@@ -145,9 +203,14 @@ let check_cmd =
     List.iter (fun r -> Format.printf "%a@." RunnerL.pp_result r) results;
     List.length (RunnerL.mismatches results)
   in
-  let run source models stats =
+  let run source models stats certify format =
     setup_stats stats;
     let models = resolve_models models in
+    let emit tests =
+      match certify with
+      | Some dir -> certify_all ~dir ~format ~models tests
+      | None -> ()
+    in
     if Sys.file_exists source && Sys.is_directory source then begin
       (* Check every .litmus file in the directory. *)
       let files =
@@ -156,6 +219,7 @@ let check_cmd =
         |> List.sort compare
       in
       let mismatches = ref 0 in
+      let checked = ref [] in
       List.iter
         (fun file ->
           let path = Filename.concat source file in
@@ -165,11 +229,14 @@ let check_cmd =
               incr mismatches
           | Ok tests ->
               List.iter
-                (fun t -> mismatches := !mismatches + check_one ~models t)
+                (fun t ->
+                  checked := t :: !checked;
+                  mismatches := !mismatches + check_one ~models t)
                 tests)
         files;
       Format.printf "@.%d file(s), %d mismatch(es)@." (List.length files)
         !mismatches;
+      emit (List.rev !checked);
       if !mismatches > 0 then exit 1
     end
     else
@@ -177,16 +244,20 @@ let check_cmd =
       | Error msg ->
           Format.eprintf "error: %s@." msg;
           exit 2
-      | Ok test -> if check_one ~models test > 0 then exit 1
+      | Ok test ->
+          let bad = check_one ~models test in
+          emit [ test ];
+          if bad > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Check a litmus test — or every .litmus file in a directory —           against memory models.")
-    Term.(const run $ source $ models_arg $ stats_arg)
+    Term.(const run $ source $ models_arg $ stats_arg $ certify_arg
+          $ cert_format_arg)
 
 let corpus_cmd =
-  let run models jobs stats =
+  let run models jobs stats certify format =
     setup_stats stats;
     let models = resolve_models models in
     let results = RunnerL.run_all ~jobs:(resolve_jobs jobs) ~models Corpus.all in
@@ -194,11 +265,15 @@ let corpus_cmd =
     let bad = RunnerL.mismatches results in
     Format.printf "%d verdicts, %d disagree with stated expectations@."
       (List.length results) (List.length bad);
+    (match certify with
+    | Some dir -> certify_all ~dir ~format ~models Corpus.all
+    | None -> ());
     if bad <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Run the built-in litmus corpus.")
-    Term.(const run $ models_arg $ jobs_arg $ stats_arg)
+    Term.(const run $ models_arg $ jobs_arg $ stats_arg $ certify_arg
+          $ cert_format_arg)
 
 let explain_cmd =
   let source =
@@ -715,7 +790,7 @@ let fuzz_cmd =
           ~doc:"Write each shrunk counterexample there as a .litmus file.")
   in
   let run seed count jobs max_procs max_ops nlocs maxv labels no_machines
-      lang_every out stats =
+      lang_every out cert_format stats =
     setup_stats stats;
     if stats then
       at_exit (fun () ->
@@ -748,13 +823,22 @@ let fuzz_cmd =
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         List.iter
           (fun (v : Oracle.violation) ->
-            let path =
-              Filename.concat dir (v.Oracle.test.Smem_litmus.Test.name ^ ".litmus")
-            in
+            let name = v.Oracle.test.Smem_litmus.Test.name in
+            let path = Filename.concat dir (name ^ ".litmus") in
             let oc = open_out path in
             output_string oc (Smem_litmus.Print.to_string v.Oracle.test);
             close_out oc;
-            Format.printf "wrote %s@." path)
+            Format.printf "wrote %s@." path;
+            (* Each shrunk repro ships with its verdict certificate so the
+               violation can be audited without re-running the fuzzer. *)
+            match v.Oracle.certificate with
+            | None -> ()
+            | Some c ->
+                let cpath = Filename.concat dir (name ^ ".cert") in
+                let oc = open_out cpath in
+                output_string oc (Cert.to_string ~format:cert_format c);
+                close_out oc;
+                Format.printf "wrote %s@." cpath)
           outcome.Campaign.violations
     | _ -> ());
     if outcome.Campaign.violations <> [] then begin
@@ -774,7 +858,67 @@ let fuzz_cmd =
           counterexamples.")
     Term.(
       const run $ seed $ count $ jobs_arg $ max_procs $ max_ops $ nlocs $ maxv
-      $ labels $ no_machines $ lang_every $ out $ stats_arg)
+      $ labels $ no_machines $ lang_every $ out $ cert_format_arg $ stats_arg)
+
+let cert_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Certificate file(s) to verify.")
+  in
+  let max_ops =
+    Arg.(
+      value
+      & opt int Kernel.default_max_search_ops
+      & info [ "max-search-ops" ] ~docv:"N"
+          ~doc:
+            "Re-refute forbidden certificates on histories up to $(docv) \
+             operations by independent enumeration (larger histories get \
+             the frontier cross-check only).")
+  in
+  let run files max_ops =
+    let failures = ref 0 in
+    List.iter
+      (fun file ->
+        if not (Sys.file_exists file) then begin
+          Format.eprintf "%s: no such file@." file;
+          incr failures
+        end
+        else
+          match Cert.parse (read_file file) with
+          | Error msg ->
+              Format.printf "%s: MALFORMED: %s@." file msg;
+              incr failures
+          | Ok c -> (
+              match Kernel.verify ~max_search_ops:max_ops c with
+              | Ok { Kernel.complete } ->
+                  Format.printf "%s: OK — %s %s%s@." file
+                    (match c.Cert.verdict with
+                    | Cert.Allowed -> "allowed"
+                    | Cert.Forbidden -> "forbidden")
+                    ("under " ^ c.Cert.model)
+                    (if complete then ""
+                     else " (frontier matched; refutation not re-enumerated)")
+              | Error reason ->
+                  Format.printf "%s: REJECTED — %s@." file reason;
+                  incr failures))
+      files;
+    if !failures > 0 then begin
+      Format.eprintf "%d certificate(s) failed verification@." !failures;
+      exit 1
+    end
+  in
+  let verify =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-validate verdict certificates with the independent checking \
+            kernel (no search-engine code involved).")
+      Term.(const run $ files $ max_ops)
+  in
+  Cmd.group
+    (Cmd.info "cert" ~doc:"Audit verdict certificates offline.")
+    [ verify ]
 
 let () =
   let info =
@@ -799,4 +943,5 @@ let () =
             custom_cmd;
             generate_cmd;
             fuzz_cmd;
+            cert_cmd;
           ]))

@@ -1,0 +1,16 @@
+(** Minimal JSON: the machine-facing certificate format.  Hand-rolled
+    (integers only — the certificate carries no floats). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)

@@ -1,0 +1,146 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+let int n = Atom (string_of_int n)
+
+let to_int = function
+  | Atom s -> int_of_string_opt s
+  | List _ -> None
+
+(* An atom needs quoting when it is empty or contains a character that
+   the tokenizer treats specially. *)
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec write buf ~indent = function
+  | Atom s -> Buffer.add_string buf (if needs_quoting s then escape s else s)
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          (match item with
+          | List _ when i > 0 ->
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf (String.make (indent + 1) ' ')
+          | _ -> if i > 0 then Buffer.add_char buf ' ');
+          write buf ~indent:(indent + 1) item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf ~indent:0 t;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          incr pos;
+          skip_ws ()
+      | ';' ->
+          (* comment to end of line *)
+          while !pos < n && s.[!pos] <> '\n' do
+            incr pos
+          done;
+          skip_ws ()
+      | _ -> ()
+  in
+  let quoted_atom () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape"
+            else begin
+              (match s.[!pos + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> Buffer.add_char buf c);
+              pos := !pos + 2;
+              go ()
+            end
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare_atom () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> false
+      | _ -> true
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected atom";
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        let rec items_loop () =
+          skip_ws ();
+          match peek () with
+          | None -> fail "unterminated list"
+          | Some ')' -> incr pos
+          | Some _ ->
+              items := value () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> fail "unexpected ')'"
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg

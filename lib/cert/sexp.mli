@@ -1,0 +1,19 @@
+(** Minimal s-expressions: the certificate wire format readable by both
+    humans and the checking kernel.  Hand-rolled because the toolkit
+    takes no serialization dependency. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+val int : int -> t
+val to_int : t -> int option
+
+val to_string : t -> string
+(** Render with one nested list per line (stable, diffable output);
+    atoms containing whitespace, parentheses, quotes, semicolons or
+    backslashes are quoted and escaped. *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one s-expression (plus surrounding whitespace and
+    [;]-comments). *)

@@ -28,4 +28,11 @@ let model =
        orders an operation before any operation invoked after its response \
        (Misra 1986; linearizability).  Coincides with SC on histories \
        without timing information."
+    ~params:
+      {
+        Model.population = Model.Shared_all;
+        ordering = Model.Po_plus_real_time;
+        mutual = Model.No_mutual;
+        legality = Model.Writer_legal;
+      }
     witness

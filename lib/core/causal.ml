@@ -25,7 +25,10 @@ let witness h =
         | None -> false
         | Some views ->
             let note = Format.asprintf "writes-before: %a" (Reads_from.pp h) rf in
-            found := Some (Witness.per_proc views ~notes:[ note ]);
+            found :=
+              Some
+                (Witness.per_proc ~rf:(Reads_from.pairs h rf) views
+                   ~notes:[ note ]);
             true)
   in
   !found
@@ -38,4 +41,11 @@ let model =
       "Independent per-processor views of own operations plus all writes, \
        respecting the causal order (program order + writes-before, \
        transitively); no mutual consistency."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Causal_order;
+        mutual = Model.No_mutual;
+        legality = Model.Value_legal;
+      }
     witness

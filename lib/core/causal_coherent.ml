@@ -14,7 +14,10 @@ let witness h =
                &&
                let rec go p acc =
                  if p = History.nprocs h then begin
-                   found := Some (Witness.per_proc (List.rev acc) ~notes:[]);
+                   found :=
+                     Some
+                       (Witness.per_proc ~rf:(Reads_from.pairs h rf)
+                          (List.rev acc) ~notes:[]);
                    true
                  end
                  else
@@ -37,4 +40,11 @@ let model =
       "Causal memory plus coherence (the new memory suggested in the \
        paper's concluding remarks): views respect causal order and agree \
        on a per-location write serialization."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Causal_plus_coherence;
+        mutual = Model.Coherence_agreement;
+        legality = Model.Value_legal;
+      }
     witness

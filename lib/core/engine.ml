@@ -46,7 +46,10 @@ let check ?rf_rel h ~rf ~co ~extra ~views =
     if String.trim co_note = "" then [ rf_note ] else [ rf_note; co_note ]
   in
   let rec solve acc = function
-    | [] -> Some (Witness.per_proc (List.rev acc) ~notes:(notes ()))
+    | [] ->
+        Some
+          (Witness.per_proc ~rf:(Reads_from.pairs h rf) (List.rev acc)
+             ~notes:(notes ()))
     | spec :: rest -> (
         match solve_view spec with
         | None -> None

@@ -42,7 +42,8 @@ val check :
   views:view_spec list ->
   Witness.t option
 (** Check every view's digraph for acyclicity; on success return a
-    witness with a deterministic linear extension per view.
+    witness with a deterministic linear extension per view and the
+    committed reads-from assignment attached (certificates embed it).
 
     [?rf_rel] lets a caller that enumerates coherence orders inside a
     reads-from loop pass [rf_edges h ~rf] computed once per map instead

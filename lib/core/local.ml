@@ -18,4 +18,11 @@ let model =
     ~description:
       "Independent views respecting only the owner's program order; other \
        processors' writes may be observed in any order."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Own_program_order;
+        mutual = Model.No_mutual;
+        legality = Model.Value_legal;
+      }
     witness

@@ -1,11 +1,44 @@
+type population = Shared_all | Own_plus_writes | Per_location
+
+type ordering =
+  | Program_order
+  | Partial_program_order
+  | Own_program_order
+  | Own_po_plus_po_loc
+  | Po_plus_real_time
+  | Causal_order
+  | Causal_plus_coherence
+  | Semi_causal
+  | Own_ppo_bracketed
+  | Sync_fences
+
+type mutual =
+  | No_mutual
+  | Coherence_agreement
+  | Global_write_order
+  | Labeled_sc
+  | Labeled_pc
+  | Labeled_total
+
+type legality = Value_legal | Writer_legal
+
+type params = {
+  population : population;
+  ordering : ordering;
+  mutual : mutual;
+  legality : legality;
+}
+
 type t = {
   key : string;
   name : string;
   description : string;
+  params : params option;
   witness : History.t -> Witness.t option;
 }
 
-let make ~key ~name ~description witness = { key; name; description; witness }
+let make ~key ~name ~description ?params witness =
+  { key; name; description; params; witness }
 
 let check t h =
   Stats.count_check ();

@@ -1,12 +1,78 @@
 (** A memory model, characterized — as in §4 of the paper — by the set
     of system execution histories it allows.  [witness] decides
     membership and, when the history is allowed, exhibits the processor
-    views that demonstrate it. *)
+    views that demonstrate it.
+
+    A model may additionally declare its {e parameter triple} (§2 of the
+    paper): the view population, the ordering requirement, and the
+    mutual-consistency requirement, plus the legality discipline its
+    views satisfy.  The triple is pure data; the certificate checking
+    kernel ({!Smem_cert.Kernel}) re-derives every obligation it names
+    from a history alone, without calling the search engine.  A model
+    without a triple (the operational TSO replay, composed {!Build}
+    models) cannot be certified. *)
+
+type population =
+  | Shared_all  (** one view containing every operation (SC, atomic) *)
+  | Own_plus_writes
+      (** per-processor views of own operations plus all writes
+          ([δp = w]: TSO, PC, RC, PRAM, causal, ...) *)
+  | Per_location
+      (** one shared view per location containing exactly the accesses
+          to it (the coherence model) *)
+
+type ordering =
+  | Program_order  (** po (SC, PRAM, PC-G, coherence) *)
+  | Partial_program_order  (** ppo — reads bypass earlier writes (TSO) *)
+  | Own_program_order  (** the view owner's po only (local) *)
+  | Own_po_plus_po_loc  (** owner's po plus everyone's po_loc (slow) *)
+  | Po_plus_real_time  (** po plus interval precedence (atomic) *)
+  | Causal_order  (** (po ∪ wb)+ for the committed reads-from map *)
+  | Causal_plus_coherence  (** (causal ∪ co)+ (coherent causal) *)
+  | Semi_causal  (** (ppo ∪ rwb ∪ rrb)+ (PC) *)
+  | Own_ppo_bracketed
+      (** owner's ppo plus the §3.4 bracketing edges (RC) *)
+  | Sync_fences
+      (** two-way fences around labeled accesses plus po_loc (WO) *)
+
+type mutual =
+  | No_mutual
+  | Coherence_agreement
+      (** all views order each location's writes identically *)
+  | Global_write_order  (** all views order {e all} writes identically *)
+  | Labeled_sc
+      (** coherence plus one legal linear extension of po on labeled
+          operations shared by all views (RC_sc) *)
+  | Labeled_pc
+      (** coherence plus the labeled subhistory's semi-causality
+          (RC_pc) *)
+  | Labeled_total
+      (** one linear extension of po on labeled operations shared by
+          all views, with no coherence requirement (weak ordering) *)
+
+type legality =
+  | Value_legal
+      (** each read returns the value of the most recent write to its
+          location in its view (or the initial 0) *)
+  | Writer_legal
+      (** each read returns exactly its assigned writer: the witness
+          commits to a reads-from map *)
+
+type params = {
+  population : population;
+  ordering : ordering;
+  mutual : mutual;
+  legality : legality;
+}
 
 type t = {
   key : string;  (** stable machine-readable identifier, e.g. ["tso"] *)
   name : string;  (** display name, e.g. ["Total Store Ordering"] *)
   description : string;
+  params : params option;
+      (** the paper's parameter triple, when the model is expressible in
+          it (drives certificate checking); [None] for operational or
+          ad-hoc models *)
   witness : History.t -> Witness.t option;
 }
 
@@ -14,6 +80,7 @@ val make :
   key:string ->
   name:string ->
   description:string ->
+  ?params:params ->
   (History.t -> Witness.t option) ->
   t
 

@@ -35,4 +35,11 @@ let model =
       "Per-processor views of own operations plus all writes; coherence as \
        mutual consistency; semi-causality (ppo + remote writes-before + \
        remote reads-before) as the ordering requirement."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Semi_causal;
+        mutual = Model.Coherence_agreement;
+        legality = Model.Writer_legal;
+      }
     witness

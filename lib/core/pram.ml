@@ -20,4 +20,11 @@ let model =
     ~description:
       "Independent per-processor views of own operations plus all writes, \
        respecting program order only; no mutual consistency."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Program_order;
+        mutual = Model.No_mutual;
+        legality = Model.Value_legal;
+      }
     witness

@@ -95,10 +95,11 @@ let witness flavor h =
   let labeled_set = Bitset.of_list nops labeled in
   let views = base_views h in
   let found = ref None in
-  let run_candidate ~rf ~co ~extra ~notes =
+  let run_candidate ~rf ~co ~extra ?sync ~notes () =
     match Engine.check h ~rf ~co ~extra ~views with
     | Some w ->
-        found := Some { w with Witness.notes = notes @ w.Witness.notes };
+        found :=
+          Some { w with Witness.sync; notes = notes @ w.Witness.notes };
         true
     | None -> false
   in
@@ -121,7 +122,8 @@ let witness flavor h =
                       Format.asprintf "labeled order: %a" (History.pp_ops h)
                         (Array.to_list t_seq)
                     in
-                    run_candidate ~rf ~co ~extra ~notes:[ note ])))
+                    run_candidate ~rf ~co ~extra
+                      ~sync:(Array.to_list t_seq) ~notes:[ note ] ())))
     | Rc_pc ->
         Reads_from.iter h ~f:(fun rf ->
             acquire_rf_ok h rf
@@ -130,7 +132,7 @@ let witness flavor h =
             Coherence.iter h ~f:(fun co ->
                 let sem_l = Orders.sem_within h ~members:labeled_set ~rf ~co in
                 let extra = Rel.union sem_l bracket in
-                run_candidate ~rf ~co ~extra ~notes:[]))
+                run_candidate ~rf ~co ~extra ~notes:[] ()))
   in
   !found
 
@@ -141,6 +143,13 @@ let rc_sc =
     ~description:
       "Release consistency with sequentially consistent labeled \
        (synchronization) operations, as in the DASH architecture."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Own_ppo_bracketed;
+        mutual = Model.Labeled_sc;
+        legality = Model.Writer_legal;
+      }
     (witness Rc_sc)
 
 let rc_pc =
@@ -148,4 +157,11 @@ let rc_pc =
     ~description:
       "Release consistency with processor consistent labeled \
        (synchronization) operations, as in the DASH architecture."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Own_ppo_bracketed;
+        mutual = Model.Labeled_pc;
+        legality = Model.Writer_legal;
+      }
     (witness Rc_pc)

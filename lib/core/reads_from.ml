@@ -68,6 +68,8 @@ let iter h ~f =
     go 0
   end
 
+let pairs h t = List.map (fun r -> (r, writer t r)) (History.reads h)
+
 let wb h t =
   let rel = Rel.create (History.nops h) in
   List.iter

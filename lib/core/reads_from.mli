@@ -30,6 +30,10 @@ val iter : History.t -> f:(t -> bool) -> bool
     map is accepted (including when some read has no candidate, i.e.
     the history reads a value nobody wrote). *)
 
+val pairs : History.t -> t -> (int * int) list
+(** [(read, writer)] for every read, ascending by read id; the form
+    embedded in witnesses and certificates. *)
+
 val wb : History.t -> t -> Smem_relation.Rel.t
 (** The writes-before edges [{(writer r, r)}], omitting initial
     writes. *)

@@ -19,6 +19,9 @@ let all =
 
 let comparable = [ Sc.model; Tso.model; Pc.model; Causal.model; Pram.model ]
 
+let certifiable =
+  List.filter (fun (m : Model.t) -> Option.is_some m.Model.params) all
+
 let find key = List.find_opt (fun (m : Model.t) -> m.Model.key = key) all
 
 let keys () = List.map (fun (m : Model.t) -> m.Model.key) all

@@ -10,6 +10,11 @@ val comparable : Model.t list
 (** The models of the paper's Figure 5 only: SC, TSO, PC, Causal,
     PRAM — the inputs to the lattice reconstruction. *)
 
+val certifiable : Model.t list
+(** The models declaring a parameter triple ({!Model.params}) — every
+    built-in except the operational TSO replay.  Exactly these can emit
+    verdict certificates checkable by {!Smem_cert.Kernel}. *)
+
 val find : string -> Model.t option
 (** Look up a model by key. *)
 

@@ -29,4 +29,11 @@ let model =
     ~description:
       "One legal interleaving of all operations, respecting program order, \
        shared by all processors (Lamport 1979)."
+    ~params:
+      {
+        Model.population = Model.Shared_all;
+        ordering = Model.Program_order;
+        mutual = Model.No_mutual;
+        legality = Model.Writer_legal;
+      }
     witness

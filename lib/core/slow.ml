@@ -22,4 +22,11 @@ let model =
     ~description:
       "Independent views respecting the owner's program order and each \
        processor's per-location write order only (Hutto and Ahamad)."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Own_po_plus_po_loc;
+        mutual = Model.No_mutual;
+        legality = Model.Value_legal;
+      }
     witness

@@ -47,7 +47,11 @@ let witness h =
         in
         let rec go p acc =
           if p = History.nprocs h then begin
-            found := Some (Witness.per_proc (List.rev acc) ~notes:[ note ]);
+            found :=
+              Some
+                (Witness.per_proc
+                   ~sync:(Array.to_list t_seq)
+                   (List.rev acc) ~notes:[ note ]);
             true
           end
           else
@@ -71,4 +75,11 @@ let model =
        order on labeled (synchronizing) accesses, every operation ordered \
        across each of its processor's synchronization points (Dubois, \
        Scheurich, Briggs 1988)."
+    ~params:
+      {
+        Model.population = Model.Own_plus_writes;
+        ordering = Model.Sync_fences;
+        mutual = Model.Labeled_total;
+        legality = Model.Value_legal;
+      }
     witness

@@ -9,27 +9,59 @@ type outcome = {
   machine_runs : int;
   lattice_checks : int;
   violations : Oracle.violation list;
+  certified : int;
+  cert_failures : string list;
 }
 
 let empty =
-  { cases = 0; histories = 0; machine_runs = 0; lattice_checks = 0; violations = [] }
+  {
+    cases = 0;
+    histories = 0;
+    machine_runs = 0;
+    lattice_checks = 0;
+    violations = [];
+    certified = 0;
+    cert_failures = [];
+  }
+
+(* Every violation certificate is put through the independent kernel on
+   the spot: a rejection means the emitter and the checker disagree and
+   the violation report itself cannot be trusted. *)
+let absorb_violations acc violations =
+  List.fold_left
+    (fun acc (v : Oracle.violation) ->
+      let acc = { acc with violations = acc.violations @ [ v ] } in
+      match v.Oracle.certificate with
+      | None -> acc
+      | Some c -> (
+          match Smem_cert.Kernel.verify c with
+          | Ok _ -> { acc with certified = acc.certified + 1 }
+          | Error e ->
+              {
+                acc with
+                cert_failures =
+                  acc.cert_failures
+                  @ [ Printf.sprintf "case %d: %s" v.Oracle.case e ];
+              }))
+    acc violations
 
 (* One history through the lattice oracle, with bookkeeping. *)
 let check_history ~case acc h =
   let violations = Oracle.lattice ~case h in
-  {
-    acc with
-    histories = acc.histories + 1;
-    lattice_checks = acc.lattice_checks + List.length (Figure5.pairs h);
-    violations = acc.violations @ violations;
-  }
+  absorb_violations
+    {
+      acc with
+      histories = acc.histories + 1;
+      lattice_checks = acc.lattice_checks + List.length (Figure5.pairs h);
+    }
+    violations
 
 let check_machine_trace ~case acc machine h =
   let acc = check_history ~case acc h in
   let acc = { acc with machine_runs = acc.machine_runs + 1 } in
   match Oracle.soundness ~case machine h with
   | None -> acc
-  | Some v -> { acc with violations = acc.violations @ [ v ] }
+  | Some v -> absorb_violations acc [ v ]
 
 let run_case (c : Gen.config) i =
   let rand = Gen.case_rand c i in
@@ -63,6 +95,8 @@ let merge a b =
     machine_runs = a.machine_runs + b.machine_runs;
     lattice_checks = a.lattice_checks + b.lattice_checks;
     violations = a.violations @ b.violations;
+    certified = a.certified + b.certified;
+    cert_failures = a.cert_failures @ b.cert_failures;
   }
 
 let run (c : Gen.config) =
@@ -77,6 +111,9 @@ let pp_summary ppf o =
     "@[<v>fuzz campaign: %d case(s), %d history(ies) checked@,\
      machine replays        %d@,\
      containment checks     %d@,\
-     oracle violations      %d@]"
+     oracle violations      %d@,\
+     certificates verified  %d (%d kernel rejection(s))@]"
     o.cases o.histories o.machine_runs o.lattice_checks
     (List.length o.violations)
+    o.certified
+    (List.length o.cert_failures)

@@ -23,6 +23,11 @@ type outcome = {
   machine_runs : int;  (** machine random-schedule replays *)
   lattice_checks : int;  (** containment pairs evaluated *)
   violations : Oracle.violation list;  (** in case order *)
+  certified : int;
+      (** violation certificates re-verified by {!Smem_cert.Kernel} *)
+  cert_failures : string list;
+      (** kernel rejections of emitted certificates — always empty
+          unless the emitter and the kernel disagree *)
 }
 
 val run : Gen.config -> outcome

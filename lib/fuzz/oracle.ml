@@ -5,6 +5,7 @@ module Machines = Smem_machine.Machines
 module Driver = Smem_machine.Driver
 module Test = Smem_litmus.Test
 module Figure5 = Smem_lattice.Figure5
+module Cert = Smem_cert.Cert
 
 type kind =
   | Unsound of { machine : string; model : string }
@@ -17,6 +18,7 @@ type violation = {
   shrunk : H.t;
   shrink_steps : int;
   test : Test.t;
+  certificate : Cert.t option;
 }
 
 let sound_key machine = "sound:" ^ machine
@@ -62,6 +64,10 @@ let soundness ~case machine h =
         ~expect:[ (model.Model.key, Test.Allowed) ]
         shrunk
     in
+    (* A forbidden certificate for the shrunk repro: the claim being
+       violated is exactly "the model rejects this machine trace", and
+       the kernel can re-refute it independently. *)
+    let certificate = Cert.certify model ~name:test.Test.name shrunk in
     Some
       {
         kind = Unsound { machine = machine_name; model = model.Model.key };
@@ -70,6 +76,7 @@ let soundness ~case machine h =
         shrunk;
         shrink_steps = steps;
         test;
+        certificate;
       }
   end
 
@@ -111,6 +118,9 @@ let lattice ?pairs ~case h =
               ]
             shrunk
         in
+        (* The half of the broken containment a certificate can carry:
+           the stronger model's witness that the history is allowed. *)
+        let certificate = Cert.certify stronger ~name:test.Test.name shrunk in
         Some
           {
             kind =
@@ -121,6 +131,7 @@ let lattice ?pairs ~case h =
             shrunk;
             shrink_steps = steps;
             test;
+            certificate;
           }
       end
       else begin
@@ -138,6 +149,14 @@ let pp_kind ppf = function
 
 let pp_violation ppf v =
   Format.fprintf ppf
-    "@[<v>%a (case %d)@,original:@,%a@,shrunk (%d step(s)):@,%a@,replay:@,%s@]"
+    "@[<v>%a (case %d)@,original:@,%a@,shrunk (%d step(s)):@,%a@,replay:@,%s%s@]"
     pp_kind v.kind v.case H.pp v.original v.shrink_steps H.pp v.shrunk
     (String.trim (Smem_litmus.Print.to_string v.test))
+    (match v.certificate with
+    | None -> ""
+    | Some c ->
+        Printf.sprintf "\ncertificate: %s verdict for model %s" 
+          (match c.Cert.verdict with
+          | Cert.Allowed -> "allowed"
+          | Cert.Forbidden -> "forbidden")
+          c.Cert.model)

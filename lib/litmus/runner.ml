@@ -30,6 +30,9 @@ let run_all ?(jobs = 1) ~models tests =
 
 let mismatches results = List.filter (fun r -> not (agrees r)) results
 
+let certify test model =
+  Smem_cert.Cert.certify model ~name:test.Test.name test.Test.history
+
 let pp_result ppf r =
   Format.fprintf ppf "%-16s %-10s %a%s" r.test.Test.name r.model.Model.key
     Test.pp_verdict r.got

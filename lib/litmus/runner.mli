@@ -23,6 +23,11 @@ val run_all :
 
 val mismatches : result list -> result list
 
+val certify : Test.t -> Smem_core.Model.t -> Smem_cert.Cert.t option
+(** Re-check the test under the model and package the verdict as a
+    certificate ({!Smem_cert.Cert.certify} with the test's name).
+    [None] when the model is not certifiable. *)
+
 val pp_result : Format.formatter -> result -> unit
 
 val pp_matrix : Format.formatter -> result list -> unit

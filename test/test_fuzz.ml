@@ -228,6 +228,83 @@ let campaign_mixed_labels_clean () =
   let o = Campaign.run { small with Gen.labels = `Mixed; count = 25 } in
   check (Alcotest.list Alcotest.pass) "no violations" [] o.Campaign.violations
 
+(* ---------------- certificates ---------------- *)
+
+module Cert = Smem_cert.Cert
+module Kernel = Smem_cert.Kernel
+
+(* Histories of at most 8 operations so the kernel's independent
+   enumeration always re-runs forbidden refutations (complete = true). *)
+let gen_small_history =
+  let open QCheck.Gen in
+  let event =
+    let* loc = oneofa [| "x"; "y"; "s" |] in
+    let* labeled = bool in
+    bool >>= function
+    | true -> map (fun v -> H.write ~labeled loc v) (int_range 1 2)
+    | false -> map (fun v -> H.read ~labeled loc v) (int_range 0 2)
+  in
+  let* nprocs = int_range 1 3 in
+  let* rows = list_repeat nprocs (list_size (int_range 1 2) event) in
+  return (H.make rows)
+
+let small_history_arb = QCheck.make ~print:show_history gen_small_history
+
+(* Every certificate the engine emits — allowed witnesses and forbidden
+   frontiers alike — must satisfy the independent kernel, completely. *)
+let prop_certificates_accepted =
+  QCheck.Test.make ~name:"engine certificates pass the kernel" ~count:120
+    small_history_arb (fun h ->
+      List.for_all
+        (fun (m : Model.t) ->
+          match Cert.certify m h with
+          | None -> QCheck.Test.fail_reportf "%s not certifiable" m.Model.key
+          | Some c -> (
+              match Kernel.verify c with
+              | Ok a -> a.Kernel.complete
+              | Error e ->
+                  QCheck.Test.fail_reportf "%s rejected: %s" m.Model.key e))
+        Registry.certifiable)
+
+(* The kernel's from-scratch search must agree with every engine verdict
+   on small histories: the two deciders share only the parameter
+   triples, so agreement here is a genuine cross-implementation check. *)
+let prop_kernel_search_agrees =
+  QCheck.Test.make ~name:"kernel search agrees with the engine" ~count:120
+    small_history_arb (fun h ->
+      List.for_all
+        (fun (m : Model.t) ->
+          match m.Model.params with
+          | None -> true
+          | Some p -> Kernel.search p h = Model.check m h)
+        Registry.certifiable)
+
+let violation_certificates () =
+  (* The flipped-containment violation from above must ship a
+     kernel-valid certificate from the model that allowed the history. *)
+  let pairs = [ (model "pram", model "sc") ] in
+  match Oracle.lattice ~pairs ~case:0 (sb_padded ()) with
+  | [ v ] -> (
+      match v.Oracle.certificate with
+      | None -> Alcotest.fail "violation carries no certificate"
+      | Some c -> (
+          check Alcotest.string "certified by the allowing model" "pram"
+            c.Cert.model;
+          check Alcotest.bool "allowed certificate" true
+            (c.Cert.verdict = Cert.Allowed);
+          match Kernel.verify c with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "kernel rejected the certificate: %s" e))
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+let campaign_counts_certificates () =
+  let o = Campaign.run small in
+  check (Alcotest.list Alcotest.pass) "no violations" [] o.Campaign.violations;
+  check Alcotest.int "no certificates without violations" 0 o.Campaign.certified;
+  check
+    (Alcotest.list Alcotest.string)
+    "no kernel rejections" [] o.Campaign.cert_failures
+
 let campaign_validates () =
   Alcotest.check_raises "bad scope rejected"
     (Invalid_argument "Gen: between 1 and 6 locations") (fun () ->
@@ -249,6 +326,14 @@ let () =
           tc "non-violating input untouched" shrink_rejects_nonviolating;
         ] );
       ("oracle", [ tc "flipped containment caught" broken_containment_caught ]);
+      ( "certificates",
+        [
+          tc "violations ship kernel-valid certificates" violation_certificates;
+          tc "clean campaigns count zero certificates"
+            campaign_counts_certificates;
+          QCheck_alcotest.to_alcotest prop_certificates_accepted;
+          QCheck_alcotest.to_alcotest prop_kernel_search_agrees;
+        ] );
       ( "campaign",
         [
           tc "clean at seed 42" campaign_clean;

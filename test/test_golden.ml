@@ -1,0 +1,22 @@
+(* Golden conformance suite: print the verdict of every model on every
+   corpus test, one line per cell, in a stable order.  The output is
+   diffed against test/golden/verdicts.expected by a dune rule; after an
+   intentional verdict change, regenerate with
+
+     dune runtest --auto-promote
+
+   and review the diff like any other source change.  An unintentional
+   diff here is a conformance regression. *)
+
+module Model = Smem_core.Model
+module Test = Smem_litmus.Test
+
+let () =
+  List.iter
+    (fun (t : Test.t) ->
+      List.iter
+        (fun (m : Model.t) ->
+          Printf.printf "%-18s %-12s %s\n" t.Test.name m.Model.key
+            (if Model.check m t.Test.history then "allowed" else "forbidden"))
+        Smem_core.Registry.all)
+    Smem_litmus.Corpus.all

@@ -117,6 +117,33 @@ let roundtrip_corpus () =
         (List.length t'.Test.expectations))
     Corpus.all
 
+(* Regression: labeled (synchronization) attributes must survive the
+   of_history → print → parse chain exactly — a suspected label-drop
+   here would silently weaken every RC/WO verdict downstream, so the
+   invariant is pinned even though no drop was ever reproduced. *)
+let roundtrip_preserves_labels () =
+  let h =
+    H.make
+      [
+        [ H.write "x" 1; H.write ~labeled:true "s" 1 ];
+        [ H.read ~labeled:true "s" 1; H.read "x" 1; H.write ~labeled:true "s" 2 ];
+      ]
+  in
+  let t =
+    Test.of_history ~name:"labels" ~expect:[ ("rc-sc", Test.Allowed) ] h
+  in
+  let t' = parse_ok (Print.to_string t) in
+  check Alcotest.bool "history round-trips" true
+    (histories_equal h t'.Test.history);
+  let attrs h =
+    List.init (H.nops h) (fun id -> (H.op h id).Op.attr)
+  in
+  check Alcotest.bool "attributes identical op-by-op" true
+    (attrs h = attrs t'.Test.history);
+  check Alcotest.int "three labeled operations" 3
+    (List.length
+       (List.filter (fun a -> a = Op.Labeled) (attrs t'.Test.history)))
+
 (* ---------------- corpus sanity ---------------- *)
 
 let corpus_names_unique () =
@@ -263,6 +290,7 @@ let () =
       ( "round-trip",
         [
           tc "whole corpus" roundtrip_corpus;
+          tc "labels preserved" roundtrip_preserves_labels;
           QCheck_alcotest.to_alcotest prop_roundtrip_random;
         ] );
       ( "corpus",
