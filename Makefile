@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench examples fuzz-smoke certs fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs fmt fmt-check ci clean
 
 all: build
 
@@ -12,8 +12,13 @@ build:
 test:
 	dune runtest --force
 
+# Both bench targets write BENCH_smem.json and exit nonzero if any
+# regenerated figure claim mismatches the paper.
 bench:
 	dune exec bench/main.exe
+
+bench-figures:
+	dune exec bench/main.exe -- --figures-only
 
 # Fail fast: one shell, set -e, so the first broken example stops the
 # run with its exit code instead of letting later examples mask it.
@@ -42,7 +47,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke certs
+ci: build test examples fuzz-smoke certs bench-figures
 
 clean:
 	dune clean

@@ -14,11 +14,26 @@
 
    Part 2 is a bechamel run with one Test.make per experiment:
    checker latency per figure/model, lattice classification, bakery
-   exploration, machine replay, and the relation kernels they sit on. *)
+   exploration, machine replay, and the relation kernels they sit on.
+
+   Every claim feeds two sinks beyond stdout: a failure counter (any
+   "<-- MISMATCH" makes the binary exit 1, so `make bench` and CI gate
+   on the paper's claims) and a machine-readable record written to
+   BENCH_smem.json (per-experiment wall/ns from the monotonic clock,
+   candidate counts, prune ratios, jobs) so perf PRs diff against a
+   baseline instead of eyeballing tables.
+
+   Flags: --out FILE (default BENCH_smem.json), --figures-only (skip
+   the bechamel part), --quick (figures 1–4 claims only), and
+   --force-mismatch (deliberately invert Figure 1's expectations — the
+   regression test for the exit-code gate). *)
 
 module H = Smem_core.History
 module Model = Smem_core.Model
 module Registry = Smem_core.Registry
+module Stats = Smem_core.Stats
+module Clock = Smem_obs.Clock
+module Json = Smem_obs.Json
 module Ltest = Smem_litmus.Test
 module Corpus = Smem_litmus.Corpus
 module Driver = Smem_machine.Driver
@@ -34,6 +49,53 @@ let machine key =
 let verdict b = if b then "allowed" else "forbidden"
 
 (* ------------------------------------------------------------------ *)
+(* Claim gating and the JSON record                                    *)
+(* ------------------------------------------------------------------ *)
+
+let failures = ref 0
+
+(* Every claim funnels through here: the printed marker and the exit
+   code can never disagree. *)
+let mark ok =
+  if ok then "ok"
+  else begin
+    incr failures;
+    "<-- MISMATCH"
+  end
+
+(* (section, row) pairs accumulated in run order; assembled into one
+   object keyed by section at exit. *)
+let records : (string * Json.t) list ref = ref []
+let record section row = records := (section, row) :: !records
+
+let assemble_records () =
+  let sections =
+    List.fold_left
+      (fun acc (section, row) ->
+        let rows = try List.assoc section acc with Not_found -> [] in
+        (section, row :: rows) :: List.remove_assoc section acc)
+      [] !records
+  in
+  List.rev_map (fun (section, rows) -> (section, Json.Arr rows)) sections
+
+(* One checker invocation, measured: monotonic wall time plus the
+   Stats counter delta for exactly this check. *)
+let measured_check m h =
+  Stats.reset ();
+  let t0 = Clock.now () in
+  let got = Model.check m h in
+  let wall_ns = Clock.elapsed_ns t0 in
+  (got, wall_ns, Stats.snapshot ())
+
+let counter_fields (s : Stats.snapshot) =
+  [
+    ("rf_candidates", Json.Int s.Stats.rf_candidates);
+    ("co_candidates", Json.Int s.Stats.co_candidates);
+    ("pruned", Json.Int s.Stats.pruned);
+    ("toposorts", Json.Int s.Stats.toposorts);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -42,17 +104,31 @@ let figure_history n (test : Ltest.t) ~claims =
     test.Ltest.history;
   List.iter
     (fun (key, expected) ->
-      let got = Model.check (model key) test.Ltest.history in
+      let got, wall_ns, s = measured_check (model key) test.Ltest.history in
+      record "figures"
+        (Json.Obj
+           ([
+              ("figure", Json.Int n);
+              ("test", Json.Str test.Ltest.name);
+              ("model", Json.Str key);
+              ("expected", Json.Str (verdict expected));
+              ("got", Json.Str (verdict got));
+              ("ok", Json.Bool (got = expected));
+              ("wall_ns", Json.Int wall_ns);
+            ]
+           @ counter_fields s));
       Format.printf "  %-8s %-9s (paper: %-9s) %s@." key (verdict got)
         (verdict expected)
-        (if got = expected then "ok" else "<-- MISMATCH"))
+        (mark (got = expected)))
     claims
 
 let figure5 () =
   Format.printf "@.== Figure 5 (containment lattice, recomputed) ==@.";
+  let t0 = Clock.now () in
   let m =
     Classify.classify_scopes ~models:Registry.comparable Classify.standard_scopes
   in
+  let wall_ns = Clock.elapsed_ns t0 in
   Format.printf "%a@." Classify.pp_summary m;
   let expected =
     [ ("causal", "pram"); ("pc", "pram"); ("sc", "tso"); ("tso", "causal"); ("tso", "pc") ]
@@ -64,7 +140,15 @@ let figure5 () =
              (List.nth m.Classify.models j).Model.key ))
     |> List.sort compare
   in
-  Format.printf "paper's Figure 5 edges reproduced: %b@." (got = expected)
+  let ok = got = expected in
+  record "figure5"
+    (Json.Obj
+       [
+         ("edges_reproduced", Json.Bool ok);
+         ("edges", Json.Int (List.length got));
+         ("wall_ns", Json.Int wall_ns);
+       ]);
+  Format.printf "paper's Figure 5 edges reproduced: %b %s@." ok (mark ok)
 
 let figure6 () =
   Format.printf "@.== Figure 6 / §5 (Bakery algorithm) ==@.";
@@ -73,34 +157,70 @@ let figure6 () =
   Format.printf "the §5 double-entry history:@.%a@." H.pp h;
   List.iter
     (fun (key, expected) ->
-      let got = Model.check (model key) h in
+      let got, wall_ns, s = measured_check (model key) h in
+      record "figure6"
+        (Json.Obj
+           ([
+              ("kind", Json.Str "checker");
+              ("model", Json.Str key);
+              ("expected", Json.Str (verdict expected));
+              ("got", Json.Str (verdict got));
+              ("ok", Json.Bool (got = expected));
+              ("wall_ns", Json.Int wall_ns);
+            ]
+           @ counter_fields s));
       Format.printf "  %-8s checker: %-9s (paper: %-9s) %s@." key (verdict got)
         (verdict expected)
-        (if got = expected then "ok" else "<-- MISMATCH"))
+        (mark (got = expected)))
     [ ("rc-sc", false); ("rc-pc", true) ];
   List.iter
     (fun (key, expected) ->
       let m = machine key in
+      let t0 = Clock.now () in
       let got = Driver.reachable m (Driver.program_of_history h) h in
+      let wall_ns = Clock.elapsed_ns t0 in
+      record "figure6"
+        (Json.Obj
+           [
+             ("kind", Json.Str "machine");
+             ("machine", Json.Str key);
+             ("expected_reachable", Json.Bool expected);
+             ("got_reachable", Json.Bool got);
+             ("ok", Json.Bool (got = expected));
+             ("wall_ns", Json.Int wall_ns);
+           ]);
       Format.printf "  %-8s machine: %-12s (expected: %-12s) %s@." key
         (if got then "reachable" else "unreachable")
         (if expected then "reachable" else "unreachable")
-        (if got = expected then "ok" else "<-- MISMATCH"))
+        (mark (got = expected)))
     [ ("rc-sc", false); ("rc-pc", true) ];
   let program = Smem_lang.Programs.bakery ~n:2 () in
   List.iter
     (fun (key, expect_safe) ->
+      let t0 = Clock.now () in
       let outcome = Smem_lang.Explore.check_mutex (machine key) program in
-      let describe, ok =
+      let wall_ns = Clock.elapsed_ns t0 in
+      let describe, states, ok =
         match outcome with
         | Smem_lang.Explore.Safe n ->
-            (Printf.sprintf "mutual exclusion holds (%d states)" n, expect_safe)
+            (Printf.sprintf "mutual exclusion holds (%d states)" n, n, expect_safe)
         | Smem_lang.Explore.Violation t ->
-            (Printf.sprintf "VIOLATION (%d-step schedule)" (List.length t), not expect_safe)
-        | Smem_lang.Explore.State_limit -> ("state limit", false)
+            ( Printf.sprintf "VIOLATION (%d-step schedule)" (List.length t),
+              0,
+              not expect_safe )
+        | Smem_lang.Explore.State_limit -> ("state limit", 0, false)
       in
-      Format.printf "  %-8s bakery(2): %-38s %s@." key describe
-        (if ok then "ok" else "<-- MISMATCH"))
+      record "figure6"
+        (Json.Obj
+           [
+             ("kind", Json.Str "bakery2");
+             ("machine", Json.Str key);
+             ("expect_safe", Json.Bool expect_safe);
+             ("states", Json.Int states);
+             ("ok", Json.Bool ok);
+             ("wall_ns", Json.Int wall_ns);
+           ]);
+      Format.printf "  %-8s bakery(2): %-38s %s@." key describe (mark ok))
     [ ("sc", true); ("rc-sc", true); ("rc-pc", false); ("tso", false) ]
 
 (* The corpus verdict matrix — the toolkit's equivalent of a results
@@ -110,14 +230,26 @@ let figure6 () =
 let corpus_matrix () =
   Format.printf "@.== Corpus verdict matrix (every stated expectation checked) ==@.";
   let models = Registry.all in
+  let t0 = Clock.now () in
   let results = Smem_litmus.Runner.run_all ~models Corpus.all in
+  let wall_ns = Clock.elapsed_ns t0 in
   Smem_litmus.Runner.pp_matrix Format.std_formatter results;
   let bad = Smem_litmus.Runner.mismatches results in
-  Format.printf "%d verdicts, %d disagree with stated expectations@."
+  record "corpus"
+    (Json.Obj
+       [
+         ("verdicts", Json.Int (List.length results));
+         ("disagreements", Json.Int (List.length bad));
+         ("wall_ns", Json.Int wall_ns);
+       ]);
+  Format.printf "%d verdicts, %d disagree with stated expectations %s@."
     (List.length results) (List.length bad)
+    (mark (bad = []))
 
 (* Search statistics: the unpruned candidate space (counted analytically
-   by Diagnose) against what the pruned search actually enumerated. *)
+   by Diagnose) against what the pruned search actually enumerated.
+   The JSON rows carry the prune ratio in permille (the format is
+   integer-only): 1000 * (space - seen) / space. *)
 let search_stats_report () =
   Format.printf
     "@.== Search statistics: candidate space vs. candidates enumerated ==@.";
@@ -127,12 +259,25 @@ let search_stats_report () =
     (fun ((test : Ltest.t), key) ->
       let h = test.Ltest.history in
       let rf_space, co_space = Smem_core.Diagnose.candidate_space h in
-      Smem_core.Stats.reset ();
-      ignore (Model.check (model key) h);
-      let s = Smem_core.Stats.snapshot () in
+      let _, wall_ns, s = measured_check (model key) h in
+      let permille space seen =
+        if space <= 0 then 0 else 1000 * (space - seen) / space
+      in
+      record "search"
+        (Json.Obj
+           ([
+              ("test", Json.Str test.Ltest.name);
+              ("model", Json.Str key);
+              ("rf_space", Json.Int rf_space);
+              ("co_space", Json.Int co_space);
+              ("rf_prune_permille", Json.Int (permille rf_space s.Stats.rf_candidates));
+              ("co_prune_permille", Json.Int (permille co_space s.Stats.co_candidates));
+              ("wall_ns", Json.Int wall_ns);
+            ]
+           @ counter_fields s));
       Format.printf "  %-22s %-8s %12d %12d %10d %10d %10d@." test.Ltest.name
-        key rf_space co_space s.Smem_core.Stats.rf_candidates
-        s.Smem_core.Stats.co_candidates s.Smem_core.Stats.pruned)
+        key rf_space co_space s.Stats.rf_candidates s.Stats.co_candidates
+        s.Stats.pruned)
     [
       (Corpus.fig1_tso, "sc");
       (Corpus.fig1_tso, "tso");
@@ -142,11 +287,11 @@ let search_stats_report () =
       (Corpus.bakery_rcpc_violation, "rc-sc");
       (Corpus.bakery_rcpc_violation, "rc-pc");
     ];
-  Smem_core.Stats.reset ()
+  Stats.reset ()
 
 (* Parallel speedup, measured end to end: the corpus sweep and the
-   lattice classification at 1 worker vs. all cores.  Wall-clock via
-   gettimeofday — bechamel's per-run OLS is the wrong tool for a
+   lattice classification at 1 worker vs. all cores.  Wall-clock on the
+   monotonic clock — bechamel's per-run OLS is the wrong tool for a
    multi-second parallel region, and this table feeds README.md. *)
 let parallel_speedup () =
   let cores = Smem_parallel.Pool.default_jobs () in
@@ -156,16 +301,29 @@ let parallel_speedup () =
   Format.printf "@.== Parallel speedup (jobs 1 vs jobs %d; %d core%s detected) ==@."
     jobs_n cores (if cores = 1 then "" else "s");
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     ignore (f ());
-    Unix.gettimeofday () -. t0
+    Clock.elapsed_ns t0
   in
   let report name f =
     let t1 = time (fun () -> f 1) in
     let tn = time (fun () -> f jobs_n) in
+    record "parallel"
+      (Json.Obj
+         [
+           ("name", Json.Str name);
+           ("jobs", Json.Int jobs_n);
+           ("jobs1_ns", Json.Int t1);
+           ("jobsN_ns", Json.Int tn);
+           ( "speedup_permille",
+             Json.Int (if tn > 0 then 1000 * t1 / tn else 0) );
+         ]);
     Format.printf "  %-28s jobs 1: %8.1f ms   jobs %d: %8.1f ms   speedup %.2fx@."
-      name (1000. *. t1) jobs_n (1000. *. tn)
-      (if tn > 0. then t1 /. tn else 0.)
+      name
+      (float t1 /. 1e6)
+      jobs_n
+      (float tn /. 1e6)
+      (if tn > 0 then float t1 /. float tn else 0.)
   in
   report "corpus run_all" (fun jobs ->
       Smem_litmus.Runner.run_all ~jobs ~models:Registry.all Corpus.all);
@@ -185,40 +343,58 @@ let random_schedule_series () =
         let _, violated = Smem_lang.Explore.run_random (machine key) program ~rand in
         if violated then incr violations
       done;
+      record "random_schedules"
+        (Json.Obj
+           [
+             ("machine", Json.Str key);
+             ("runs", Json.Int 1000);
+             ("violations", Json.Int !violations);
+           ]);
       Format.printf "  %-8s %4d / 1000 random schedules violate mutual exclusion@."
         key !violations)
     [ "sc"; "rc-sc"; "rc-pc"; "tso" ]
 
-let regenerate_figures () =
+let fig1_claims ~force_mismatch =
+  (* --force-mismatch inverts the paper's Figure 1 expectations so the
+     exit-code gate itself is testable: the checkers still answer
+     correctly, the claims are wrong, the binary must exit 1. *)
+  let flip = if force_mismatch then not else Fun.id in
+  [ ("tso", flip true); ("sc", flip false) ]
+
+let regenerate_figures ~quick ~force_mismatch =
   Format.printf
     "====================================================================@.";
   Format.printf
     " Figure regeneration: paper claims vs. this implementation@.";
   Format.printf
     "====================================================================@.";
-  figure_history 1 Corpus.fig1_tso ~claims:[ ("tso", true); ("sc", false) ];
+  if force_mismatch then
+    Format.printf "(--force-mismatch: Figure 1 expectations inverted)@.";
+  figure_history 1 Corpus.fig1_tso ~claims:(fig1_claims ~force_mismatch);
   figure_history 2 Corpus.fig2_pc_not_tso ~claims:[ ("pc", true); ("tso", false) ];
   figure_history 3 Corpus.fig3_pram_not_tso ~claims:[ ("pram", true); ("tso", false) ];
   figure_history 4 Corpus.fig4_causal_not_tso
     ~claims:[ ("causal", true); ("tso", false) ];
-  figure5 ();
-  figure6 ();
-  (* Reproduction finding documented in EXPERIMENTS.md. *)
-  (match Corpus.find "sb+rfi" with
-  | Some t ->
-      let h = t.Ltest.history in
-      Format.printf
-        "@.== §3.2 equivalence claim (TSO = axiomatic TSO) ==@.%a@." H.pp h;
-      Format.printf
-        "  view-based TSO: %-9s   operational TSO: %-9s  -> the claim fails \
-         on store-forwarding (see EXPERIMENTS.md)@."
-        (verdict (Smem_core.Tso.check h))
-        (verdict (Smem_core.Tso_operational.check h))
-  | None -> ());
-  corpus_matrix ();
-  search_stats_report ();
-  parallel_speedup ();
-  random_schedule_series ()
+  if not quick then begin
+    figure5 ();
+    figure6 ();
+    (* Reproduction finding documented in EXPERIMENTS.md. *)
+    (match Corpus.find "sb+rfi" with
+    | Some t ->
+        let h = t.Ltest.history in
+        Format.printf
+          "@.== §3.2 equivalence claim (TSO = axiomatic TSO) ==@.%a@." H.pp h;
+        Format.printf
+          "  view-based TSO: %-9s   operational TSO: %-9s  -> the claim fails \
+           on store-forwarding (see EXPERIMENTS.md)@."
+          (verdict (Smem_core.Tso.check h))
+          (verdict (Smem_core.Tso_operational.check h))
+    | None -> ());
+    corpus_matrix ();
+    search_stats_report ();
+    parallel_speedup ();
+    random_schedule_series ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: bechamel benchmarks                                         *)
@@ -383,10 +559,10 @@ let kernel_benches =
      in
      Test.make ~name:"kernel/linear-extensions/8"
        (Staged.stage (fun () ->
-            ignore (Smem_relation.Rel.linear_extensions chain ~f:(fun _ -> false)))));
+            ignore (Smem_relation.Rel.linear_extensions chain ~f:(fun _ -> false)))))
   ]
 
-let all_benches =
+let all_benches () =
   let figure_tests =
     List.concat
       [
@@ -413,7 +589,7 @@ let benchmark () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
   in
-  let raw = Benchmark.all cfg instances all_benches in
+  let raw = Benchmark.all cfg instances (all_benches ()) in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   Analyze.merge ols instances results
 
@@ -433,6 +609,9 @@ let print_results results =
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some [ est ] ->
+          record "bechamel"
+            (Json.Obj
+               [ ("name", Json.Str name); ("ns_per_run", Json.Int (int_of_float est)) ]);
           let pretty =
             if est > 1e9 then Printf.sprintf "%10.3f s " (est /. 1e9)
             else if est > 1e6 then Printf.sprintf "%10.3f ms" (est /. 1e6)
@@ -443,7 +622,52 @@ let print_results results =
       | _ -> Format.printf "%-44s %16s@." name "n/a")
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_json ~out ~quick ~figures_only ~force_mismatch =
+  let doc =
+    Json.Obj
+      ([
+         ("schema", Json.Str "smem-bench/1");
+         ("jobs", Json.Int (Smem_parallel.Pool.default_jobs ()));
+         ("quick", Json.Bool quick);
+         ("figures_only", Json.Bool figures_only);
+         ("forced_mismatch", Json.Bool force_mismatch);
+         ("mismatches", Json.Int !failures);
+       ]
+      @ assemble_records ())
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Format.printf "@.wrote %s@." out
+
 let () =
-  regenerate_figures ();
-  let results = benchmark () in
-  print_results results
+  let out = ref "BENCH_smem.json" in
+  let figures_only = ref false in
+  let quick = ref false in
+  let force_mismatch = ref false in
+  let spec =
+    [
+      ("--out", Arg.Set_string out, "FILE  Machine-readable results (default BENCH_smem.json)");
+      ("--figures-only", Arg.Set figures_only, "  Skip the bechamel timing part");
+      ("--quick", Arg.Set quick, "  Figures 1-4 claims only (implies --figures-only)");
+      ("--force-mismatch", Arg.Set force_mismatch, "  Invert Figure 1 expectations (tests the exit-code gate)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--out FILE] [--figures-only] [--quick] [--force-mismatch]";
+  let figures_only = !figures_only || !quick in
+  regenerate_figures ~quick:!quick ~force_mismatch:!force_mismatch;
+  if not figures_only then begin
+    let results = benchmark () in
+    print_results results
+  end;
+  write_json ~out:!out ~quick:!quick ~figures_only ~force_mismatch:!force_mismatch;
+  if !failures > 0 then begin
+    Format.eprintf "%d figure claim(s) MISMATCHED the implementation@." !failures;
+    exit 1
+  end

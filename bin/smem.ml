@@ -76,15 +76,49 @@ let stats_arg =
            and coherence orders enumerated, candidates pruned, \
            topological sorts, and wall time.")
 
-(* Reset the counters up front and, when requested, report them on exit
-   (several subcommands exit early on mismatches; at_exit covers every
-   path). *)
-let setup_stats enabled =
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print every registered observability metric on exit (the \
+           search counters plus pool, machine, fuzz and certificate \
+           instrumentation), as a name/value table.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans of the instrumented hot paths (checks, rf/co \
+           enumeration, toposorts, pool tasks, machine replays, fuzz \
+           cases, kernel verifications) and write them to $(docv) as \
+           Chrome trace-event JSON on exit; open it in chrome://tracing \
+           or https://ui.perfetto.dev.")
+
+(* The three observability switches travel together: reset the
+   registry up front and report/flush on exit (several subcommands exit
+   early on mismatches; at_exit covers every path). *)
+type obs = { stats : bool; metrics : bool; trace : string option }
+
+let obs_term =
+  let combine stats metrics trace = { stats; metrics; trace } in
+  Term.(const combine $ stats_arg $ metrics_arg $ trace_arg)
+
+let setup_obs o =
   Smem_core.Stats.reset ();
-  if enabled then
-    at_exit (fun () ->
+  (match o.trace with
+  | Some file -> Smem_obs.Trace.start ~file ()
+  | None -> ());
+  at_exit (fun () ->
+      if o.stats then
         Format.printf "@.%a@." Smem_core.Stats.pp (Smem_core.Stats.snapshot ());
-        Format.pp_print_flush Format.std_formatter ())
+      if o.metrics then
+        Format.printf "@.%a@." Smem_obs.Metrics.pp (Smem_obs.Metrics.snapshot ());
+      if o.stats || o.metrics then
+        Format.pp_print_flush Format.std_formatter ();
+      Smem_obs.Trace.stop ())
 
 let read_file path =
   let ic = open_in path in
@@ -203,8 +237,8 @@ let check_cmd =
     List.iter (fun r -> Format.printf "%a@." RunnerL.pp_result r) results;
     List.length (RunnerL.mismatches results)
   in
-  let run source models stats certify format =
-    setup_stats stats;
+  let run source models obs certify format =
+    setup_obs obs;
     let models = resolve_models models in
     let emit tests =
       match certify with
@@ -253,12 +287,12 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Check a litmus test — or every .litmus file in a directory —           against memory models.")
-    Term.(const run $ source $ models_arg $ stats_arg $ certify_arg
+    Term.(const run $ source $ models_arg $ obs_term $ certify_arg
           $ cert_format_arg)
 
 let corpus_cmd =
-  let run models jobs stats certify format =
-    setup_stats stats;
+  let run models jobs obs certify format =
+    setup_obs obs;
     let models = resolve_models models in
     let results = RunnerL.run_all ~jobs:(resolve_jobs jobs) ~models Corpus.all in
     RunnerL.pp_matrix Format.std_formatter results;
@@ -272,7 +306,7 @@ let corpus_cmd =
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Run the built-in litmus corpus.")
-    Term.(const run $ models_arg $ jobs_arg $ stats_arg $ certify_arg
+    Term.(const run $ models_arg $ jobs_arg $ obs_term $ certify_arg
           $ cert_format_arg)
 
 let explain_cmd =
@@ -288,8 +322,8 @@ let explain_cmd =
       & opt (some model_conv) None
       & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model to explain under.")
   in
-  let run source (model : Model.t) stats =
-    setup_stats stats;
+  let run source (model : Model.t) obs =
+    setup_obs obs;
     match load_test source with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -317,14 +351,14 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show witness views (or their absence) for a test.")
-    Term.(const run $ source $ model $ stats_arg)
+    Term.(const run $ source $ model $ obs_term)
 
 let lattice_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz Hasse diagram.")
   in
-  let run dot jobs stats =
-    setup_stats stats;
+  let run dot jobs obs =
+    setup_obs obs;
     let m =
       Smem_lattice.Classify.classify_scopes ~jobs:(resolve_jobs jobs)
         ~models:Registry.comparable Smem_lattice.Classify.standard_scopes
@@ -335,7 +369,7 @@ let lattice_cmd =
   Cmd.v
     (Cmd.info "lattice"
        ~doc:"Recompute the containment lattice of the paper's Figure 5.")
-    Term.(const run $ dot $ jobs_arg $ stats_arg)
+    Term.(const run $ dot $ jobs_arg $ obs_term)
 
 let mutex_cmd =
   let alg =
@@ -407,8 +441,8 @@ let distinguish_cmd =
           ~doc:"Search the Figure-5 sweep instead of a single custom scope.")
   in
   let run (a : Model.t) (b : Model.t) procs nlocs maxv labeled standard jobs
-      stats =
-    setup_stats stats;
+      obs =
+    setup_obs obs;
     let scopes =
       if standard then Smem_lattice.Classify.standard_scopes
       else
@@ -426,7 +460,7 @@ let distinguish_cmd =
           (the paper's §4 comparisons, automated).")
     Term.(
       const run $ model_pos 0 "First model." $ model_pos 1 "Second model."
-      $ procs $ nlocs $ maxv $ labeled $ standard $ jobs_arg $ stats_arg)
+      $ procs $ nlocs $ maxv $ labeled $ standard $ jobs_arg $ obs_term)
 
 let liveness_cmd =
   let alg =
@@ -582,8 +616,8 @@ let custom_cmd =
           ~doc:
             "Ordering requirement (repeatable; union): po | ppo | po-loc |              own-po | causal | semi-causal.")
   in
-  let run source operations mutual orderings stats =
-    setup_stats stats;
+  let run source operations mutual orderings obs =
+    setup_obs obs;
     let orderings = match orderings with [] -> [ `Po ] | os -> os in
     let model =
       try
@@ -609,7 +643,7 @@ let custom_cmd =
     (Cmd.info "custom"
        ~doc:
          "Check a test against a model composed from the paper's three           parameters (§2): view population, mutual consistency, ordering.")
-    Term.(const run $ source $ ops_arg $ mutual_arg $ order_arg $ stats_arg)
+    Term.(const run $ source $ ops_arg $ mutual_arg $ order_arg $ obs_term)
 
 let outcomes_cmd =
   let source =
@@ -790,9 +824,9 @@ let fuzz_cmd =
           ~doc:"Write each shrunk counterexample there as a .litmus file.")
   in
   let run seed count jobs max_procs max_ops nlocs maxv labels no_machines
-      lang_every out cert_format stats =
-    setup_stats stats;
-    if stats then
+      lang_every out cert_format obs =
+    setup_obs obs;
+    if obs.stats then
       at_exit (fun () ->
           Format.printf "@.%a@." Smem_core.Stats.pp_fuzz
             (Smem_core.Stats.fuzz_snapshot ()));
@@ -858,7 +892,7 @@ let fuzz_cmd =
           counterexamples.")
     Term.(
       const run $ seed $ count $ jobs_arg $ max_procs $ max_ops $ nlocs $ maxv
-      $ labels $ no_machines $ lang_every $ out $ cert_format_arg $ stats_arg)
+      $ labels $ no_machines $ lang_every $ out $ cert_format_arg $ obs_term)
 
 let cert_cmd =
   let files =
@@ -876,7 +910,8 @@ let cert_cmd =
              operations by independent enumeration (larger histories get \
              the frontier cross-check only).")
   in
-  let run files max_ops =
+  let run files max_ops obs =
+    setup_obs obs;
     let failures = ref 0 in
     List.iter
       (fun file ->
@@ -914,7 +949,7 @@ let cert_cmd =
          ~doc:
            "Re-validate verdict certificates with the independent checking \
             kernel (no search-engine code involved).")
-      Term.(const run $ files $ max_ops)
+      Term.(const run $ files $ max_ops $ obs_term)
   in
   Cmd.group
     (Cmd.info "cert" ~doc:"Audit verdict certificates offline.")

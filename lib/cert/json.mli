@@ -1,16 +1,8 @@
-(** Minimal JSON: the machine-facing certificate format.  Hand-rolled
-    (integers only — the certificate carries no floats). *)
+(** Minimal JSON: the machine-facing certificate format.  An alias of
+    {!Smem_obs.Json} (where the implementation moved so traces, metrics
+    and the bench harness can share it); [Smem_cert.Json.t] and
+    [Smem_obs.Json.t] are the same type. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-val of_string : string -> (t, string) result
-
-val member : string -> t -> t option
-(** Field lookup on an [Obj]; [None] on anything else. *)
+include module type of struct
+  include Smem_obs.Json
+end

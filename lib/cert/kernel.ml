@@ -888,7 +888,10 @@ let search params h =
 
 let default_max_search_ops = 8
 
-let verify ?(max_search_ops = default_max_search_ops) (c : Cert.t) =
+let kernel_verifies = Smem_obs.Metrics.counter "cert.kernel_verifies"
+let kernel_rejections = Smem_obs.Metrics.counter "cert.kernel_rejections"
+
+let verify_checked ~max_search_ops (c : Cert.t) =
   try
     if c.Cert.version <> Cert.version then
       reject "unsupported certificate version %d" c.Cert.version;
@@ -929,3 +932,23 @@ let verify ?(max_search_ops = default_max_search_ops) (c : Cert.t) =
     | Cert.Forbidden, Cert.Witness _ ->
         reject "a forbidden verdict must carry frontier evidence"
   with Reject msg -> Error msg
+
+let verify ?(max_search_ops = default_max_search_ops) (c : Cert.t) =
+  Smem_obs.Metrics.incr kernel_verifies;
+  let result =
+    Smem_obs.Trace.span ~cat:"cert"
+      ~args:
+        [
+          ("model", Smem_obs.Json.Str c.Cert.model);
+          ( "test",
+            match c.Cert.test with
+            | Some t -> Smem_obs.Json.Str t
+            | None -> Smem_obs.Json.Null );
+        ]
+      "cert/kernel-verify"
+      (fun () -> verify_checked ~max_search_ops c)
+  in
+  (match result with
+  | Error _ -> Smem_obs.Metrics.incr kernel_rejections
+  | Ok _ -> ());
+  result

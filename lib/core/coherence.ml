@@ -66,6 +66,7 @@ let default_respect h w1 w2 =
   Op.same_proc o1 o2 && o1.Op.index < o2.Op.index
 
 let iter ?respect h ~f =
+  Smem_obs.Trace.span ~cat:"search" "search/co-enumeration" @@ fun () ->
   let respect = match respect with Some r -> r | None -> default_respect h in
   let nlocs = History.nlocs h in
   let per_loc_writes =

@@ -32,7 +32,18 @@ let check ?rf_rel h ~rf ~co ~extra ~views =
   let solve_view spec =
     let graph = Rel.restrict (Rel.union spec.order base) spec.ops in
     Stats.count_toposort ();
-    match Rel.topological_sort graph with
+    (* Span-per-toposort is the finest trace granularity; the [active]
+       guard keeps the untraced hot path free of even the closure
+       allocation. *)
+    let sorted =
+      if Smem_obs.Trace.active () then
+        Smem_obs.Trace.span ~cat:"engine"
+          ~args:[ ("proc", Smem_obs.Json.Int spec.proc) ]
+          "engine/toposort"
+          (fun () -> Rel.topological_sort graph)
+      else Rel.topological_sort graph
+    in
+    match sorted with
     | None -> None
     | Some order ->
         let seq = List.filter (Bitset.mem spec.ops) order in

@@ -42,4 +42,12 @@ let make ~key ~name ~description ?params witness =
 
 let check t h =
   Stats.count_check ();
-  Stats.time (fun () -> Option.is_some (t.witness h))
+  Smem_obs.Trace.span ~cat:"check"
+    ~args:
+      [
+        ("model", Smem_obs.Json.Str t.key);
+        ("nops", Smem_obs.Json.Int (History.nops h));
+        ("nprocs", Smem_obs.Json.Int (History.nprocs h));
+      ]
+    ("check/" ^ t.key)
+    (fun () -> Stats.time (fun () -> Option.is_some (t.witness h)))

@@ -22,6 +22,7 @@ let candidates h r =
   if op.Op.value = 0 then History.init :: writes else writes
 
 let iter h ~f =
+  Smem_obs.Trace.span ~cat:"search" "search/rf-enumeration" @@ fun () ->
   let reads = Array.of_list (History.reads h) in
   let nreads = Array.length reads in
   (* Hoisted: the candidate writers of each read depend only on the
@@ -40,6 +41,10 @@ let iter h ~f =
       rejected := !rejected + possible - Array.length cands.(i))
     reads;
   Stats.add_pruned !rejected;
+  if !rejected > 0 && Smem_obs.Trace.active () then
+    Smem_obs.Trace.instant ~cat:"search"
+      ~args:[ ("rejected", Smem_obs.Json.Int !rejected) ]
+      "search/prune";
   if Array.exists (fun c -> Array.length c = 0) cands then begin
     (* Some read returns a value nobody wrote: no reads-from map exists,
        so short-circuit before enumerating any prefix assignment (the

@@ -1,13 +1,15 @@
 (* Search-statistics counters for the witness searches.
 
-   The counters are process-global [Stdlib.Atomic] cells so the
-   parallel runner's worker domains can bump them without
-   synchronization beyond the atomic increment; a snapshot is therefore
-   an aggregate over every check run since the last [reset], across all
-   domains.  [Stdlib.Atomic] is spelled out because [Atomic] inside
-   this library is the atomic-memory model. *)
+   Since the observability layer landed these are thin typed views over
+   the process-global [Smem_obs.Metrics] registry: the same cells the
+   generic machinery snapshots for [--metrics] and the bench harness's
+   BENCH_smem.json, so there is exactly one source of truth.  Cells are
+   [Stdlib.Atomic] ints, so the parallel runner's worker domains bump
+   them without synchronization beyond the atomic increment; a snapshot
+   is an aggregate over every check run since the last [reset], across
+   all domains. *)
 
-module A = Stdlib.Atomic
+module M = Smem_obs.Metrics
 
 type snapshot = {
   checks : int;
@@ -18,39 +20,33 @@ type snapshot = {
   wall_ns : int;
 }
 
-let checks = A.make 0
-let rf_candidates = A.make 0
-let co_candidates = A.make 0
-let pruned = A.make 0
-let toposorts = A.make 0
-let wall_ns = A.make 0
-
-let all = [ checks; rf_candidates; co_candidates; pruned; toposorts; wall_ns ]
+let checks = M.counter "search.checks"
+let rf_candidates = M.counter "search.rf_candidates"
+let co_candidates = M.counter "search.co_candidates"
+let pruned = M.counter "search.pruned"
+let toposorts = M.counter "search.toposorts"
+let wall_ns = M.counter "search.wall_ns"
 
 (* Per-oracle counters for the differential fuzzer, keyed by oracle
-   name (a machine/model pairing or a containment arrow).  The key set
-   is small and insert-rare, so the table is an immutable association
-   list swapped by compare-and-set: lookups are lock-free and bumps are
-   plain atomic increments, preserving the module's domain-safety
-   contract without a mutex. *)
+   name (a machine/model pairing or a containment arrow).  Stored as
+   dynamically registered metrics ["fuzz.pass.<key>"] etc., so they
+   inherit the registry's domain-safety and show up in [--metrics]. *)
 type fuzz = { pass : int; fail : int; shrink_steps : int }
 
-type fuzz_cell = { c_pass : int A.t; c_fail : int A.t; c_shrink : int A.t }
+let fuzz_pass_prefix = "fuzz.pass."
+let fuzz_fail_prefix = "fuzz.fail."
+let fuzz_shrink_prefix = "fuzz.shrink."
 
-let fuzz_table : (string * fuzz_cell) list A.t = A.make []
-
-let reset () =
-  List.iter (fun c -> A.set c 0) all;
-  A.set fuzz_table []
+let reset () = M.reset ()
 
 let snapshot () =
   {
-    checks = A.get checks;
-    rf_candidates = A.get rf_candidates;
-    co_candidates = A.get co_candidates;
-    pruned = A.get pruned;
-    toposorts = A.get toposorts;
-    wall_ns = A.get wall_ns;
+    checks = M.value checks;
+    rf_candidates = M.value rf_candidates;
+    co_candidates = M.value co_candidates;
+    pruned = M.value pruned;
+    toposorts = M.value toposorts;
+    wall_ns = M.value wall_ns;
   }
 
 let diff a b =
@@ -63,32 +59,40 @@ let diff a b =
     wall_ns = a.wall_ns - b.wall_ns;
   }
 
-let bump c = A.incr c
-let add c n = if n > 0 then ignore (A.fetch_and_add c n)
+let count_fuzz_pass key = M.incr (M.counter (fuzz_pass_prefix ^ key))
+let count_fuzz_fail key = M.incr (M.counter (fuzz_fail_prefix ^ key))
 
-let rec fuzz_cell key =
-  let table = A.get fuzz_table in
-  match List.assoc_opt key table with
-  | Some cell -> cell
-  | None ->
-      let cell = { c_pass = A.make 0; c_fail = A.make 0; c_shrink = A.make 0 } in
-      if A.compare_and_set fuzz_table table ((key, cell) :: table) then cell
-      else fuzz_cell key
-
-let count_fuzz_pass key = bump (fuzz_cell key).c_pass
-let count_fuzz_fail key = bump (fuzz_cell key).c_fail
-let add_fuzz_shrink key n = add (fuzz_cell key).c_shrink n
+let add_fuzz_shrink key n =
+  if n > 0 then M.add (M.counter (fuzz_shrink_prefix ^ key)) n
 
 let fuzz_snapshot () =
-  A.get fuzz_table
-  |> List.map (fun (key, cell) ->
-         ( key,
-           {
-             pass = A.get cell.c_pass;
-             fail = A.get cell.c_fail;
-             shrink_steps = A.get cell.c_shrink;
-           } ))
-  |> List.sort compare
+  let strip prefix name =
+    if String.starts_with ~prefix name then
+      Some
+        (String.sub name (String.length prefix)
+           (String.length name - String.length prefix))
+    else None
+  in
+  let table = Hashtbl.create 16 in
+  let get key =
+    match Hashtbl.find_opt table key with
+    | Some f -> f
+    | None -> { pass = 0; fail = 0; shrink_steps = 0 }
+  in
+  List.iter
+    (fun (name, v) ->
+      match strip fuzz_pass_prefix name with
+      | Some key -> Hashtbl.replace table key { (get key) with pass = v }
+      | None -> (
+          match strip fuzz_fail_prefix name with
+          | Some key -> Hashtbl.replace table key { (get key) with fail = v }
+          | None -> (
+              match strip fuzz_shrink_prefix name with
+              | Some key ->
+                  Hashtbl.replace table key { (get key) with shrink_steps = v }
+              | None -> ())))
+    (M.snapshot ());
+  Hashtbl.fold (fun key f acc -> (key, f) :: acc) table [] |> List.sort compare
 
 let pp_fuzz ppf counters =
   if counters = [] then Format.fprintf ppf "fuzz oracles: none run"
@@ -102,18 +106,19 @@ let pp_fuzz ppf counters =
     Format.fprintf ppf "@]"
   end
 
-let count_check () = bump checks
-let count_rf () = bump rf_candidates
-let count_co () = bump co_candidates
-let add_pruned n = add pruned n
-let count_toposort () = bump toposorts
-let add_wall_ns n = add wall_ns n
+let count_check () = M.incr checks
+let count_rf () = M.incr rf_candidates
+let count_co () = M.incr co_candidates
+let add_pruned n = if n > 0 then M.add pruned n
+let count_toposort () = M.incr toposorts
+let add_wall_ns n = if n > 0 then M.add wall_ns n
 
+(* Monotonic clock: a wall-clock source here (the old gettimeofday)
+   could be stepped backwards by NTP mid-measure and record a negative
+   or wildly skewed duration into the aggregate. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
-  let finally () =
-    add_wall_ns (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
-  in
+  let t0 = Smem_obs.Clock.now () in
+  let finally () = add_wall_ns (Smem_obs.Clock.elapsed_ns t0) in
   Fun.protect ~finally f
 
 let pp_wall ppf ns =

@@ -5,7 +5,13 @@
     search observable ([smem ... --stats], the bench harness) instead of
     asserted.  Counters are process-global atomics: they aggregate over
     every check since the last {!reset}, across all worker domains of
-    the parallel runner, and are safe to bump concurrently. *)
+    the parallel runner, and are safe to bump concurrently.
+
+    The cells live in the {!Smem_obs.Metrics} registry (names
+    ["search.checks"], ["search.rf_candidates"], … and
+    ["fuzz.pass.<oracle>"], …), so the same values also appear in
+    [--metrics] output and in the bench harness's [BENCH_smem.json];
+    this module is the typed view the search code bumps through. *)
 
 type snapshot = {
   checks : int;  (** {!Model.check} invocations *)
@@ -22,7 +28,9 @@ type snapshot = {
 }
 
 val reset : unit -> unit
-(** Zero every counter. *)
+(** Zero every counter — and, because the cells live in the shared
+    registry, every other {!Smem_obs.Metrics} metric with them (one
+    coherent epoch for [--stats]/[--metrics] reporting). *)
 
 val snapshot : unit -> snapshot
 
@@ -44,8 +52,10 @@ val count_toposort : unit -> unit
 val add_wall_ns : int -> unit
 
 val time : (unit -> 'a) -> 'a
-(** Run the thunk and add its wall-clock duration to {!snapshot}
-    [wall_ns] (also on exceptions). *)
+(** Run the thunk and add its duration to {!snapshot} [wall_ns] (also
+    on exceptions).  Measured on the monotonic clock
+    ({!Smem_obs.Clock}), so an NTP step mid-thunk cannot produce a
+    negative or skewed reading. *)
 
 (** {1 Differential-fuzzer counters}
 

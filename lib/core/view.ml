@@ -4,6 +4,10 @@ module Rel = Smem_relation.Rel
 type legality = By_value | By_writer of Reads_from.t
 
 let exists ?(memoize = true) h ~ops ~order ~legality =
+  Smem_obs.Trace.span ~cat:"search"
+    ~args:[ ("memoize", Smem_obs.Json.Bool memoize) ]
+    "search/legality"
+  @@ fun () ->
   let nops = History.nops h in
   if nops >= Sys.int_size then
     invalid_arg "View.exists: history too large for the word-encoded search";

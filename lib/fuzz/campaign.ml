@@ -63,7 +63,14 @@ let check_machine_trace ~case acc machine h =
   | None -> acc
   | Some v -> absorb_violations acc [ v ]
 
+let fuzz_cases = Smem_obs.Metrics.counter "fuzz.cases"
+
 let run_case (c : Gen.config) i =
+  Smem_obs.Metrics.incr fuzz_cases;
+  Smem_obs.Trace.span ~cat:"fuzz"
+    ~args:[ ("case", Smem_obs.Json.Int i) ]
+    "fuzz/case"
+  @@ fun () ->
   let rand = Gen.case_rand c i in
   let acc = { empty with cases = 1 } in
   let acc = check_history ~case:i acc (Gen.history c ~rand) in

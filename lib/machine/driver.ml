@@ -1,6 +1,9 @@
 module H = Smem_core.History
 module Op = Smem_core.Op
 
+let replays = Smem_obs.Metrics.counter "machine.replays"
+let replay_states = Smem_obs.Metrics.counter "machine.replay_states"
+
 type instr = { kind : Op.kind; loc : int; value : int; labeled : bool }
 
 type program = {
@@ -99,6 +102,11 @@ let run_random (module M : Machine_sig.MACHINE) program ~rand =
    a read may only be issued when the machine would return exactly the
    value the target history assigns to it. *)
 let reachable (module M : Machine_sig.MACHINE) program target =
+  Smem_obs.Metrics.incr replays;
+  Smem_obs.Trace.span ~cat:"machine"
+    ~args:[ ("machine", Smem_obs.Json.Str M.name) ]
+    "machine/replay"
+  @@ fun () ->
   let expected =
     Array.init program.nprocs (fun p ->
         H.proc_ops target p |> Array.map (fun id -> (H.op target id).Op.value))
@@ -137,8 +145,13 @@ let reachable (module M : Machine_sig.MACHINE) program target =
       end
     end
   in
-  explore (M.create ~nprocs:program.nprocs ~nlocs:program.nlocs)
-    (Array.make program.nprocs 0)
+  let ok =
+    explore
+      (M.create ~nprocs:program.nprocs ~nlocs:program.nlocs)
+      (Array.make program.nprocs 0)
+  in
+  Smem_obs.Metrics.add replay_states (Hashtbl.length visited);
+  ok
 
 let outcomes (module M : Machine_sig.MACHINE) program =
   let results = Hashtbl.create 97 in

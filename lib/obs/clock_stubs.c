@@ -1,0 +1,43 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC is immune to NTP steps and settimeofday, which is
+   the whole point: span durations and Stats.wall_ns must never go
+   negative or jump because the wall clock was corrected mid-measure.
+   The gettimeofday fallback only exists for platforms without POSIX
+   clocks; it keeps the build working there at the cost of the
+   guarantee. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+#if !defined(CLOCK_MONOTONIC)
+#include <sys/time.h>
+#endif
+
+static int64_t smem_obs_now_ns(void)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+  return 0;
+#else
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+#endif
+}
+
+CAMLprim int64_t smem_obs_clock_ns_unboxed(value unit)
+{
+  (void)unit;
+  return smem_obs_now_ns();
+}
+
+CAMLprim value smem_obs_clock_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(smem_obs_now_ns());
+}

@@ -1,0 +1,202 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Str s -> Buffer.add_string buf (escape s)
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape k);
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_token () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape"
+            else begin
+              (match s.[!pos + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  if !pos + 5 >= n then fail "short unicode escape"
+                  else begin
+                    (* The printer only emits \u00xx control escapes;
+                       decode the low byte and reject the rest. *)
+                    match int_of_string_opt ("0x" ^ String.sub s (!pos + 2) 4) with
+                    | Some code when code < 0x80 ->
+                        Buffer.add_char buf (Char.chr code);
+                        pos := !pos + 4
+                    | _ -> fail "unsupported unicode escape"
+                  end
+              | c -> Buffer.add_char buf c);
+              pos := !pos + 2;
+              go ()
+            end
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number_token () =
+    let start = !pos in
+    if !pos < n && (s.[!pos] = '-' || s.[!pos] = '+') then incr pos;
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      incr pos
+    done;
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> Int v
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input"
+    else
+      match s.[!pos] with
+      | 'n' -> literal "null" Null
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | '"' -> Str (string_token ())
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && s.[!pos] = ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let items = ref [ value () ] in
+            let rec more () =
+              skip_ws ();
+              if !pos < n && s.[!pos] = ',' then begin
+                incr pos;
+                items := value () :: !items;
+                more ()
+              end
+              else expect ']'
+            in
+            more ();
+            Arr (List.rev !items)
+          end
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && s.[!pos] = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let field () =
+              skip_ws ();
+              let k = string_token () in
+              skip_ws ();
+              expect ':';
+              (k, value ())
+            in
+            let fields = ref [ field () ] in
+            let rec more () =
+              skip_ws ();
+              if !pos < n && s.[!pos] = ',' then begin
+                incr pos;
+                fields := field () :: !fields;
+                more ()
+              end
+              else expect '}'
+            in
+            more ();
+            Obj (List.rev !fields)
+          end
+      | _ -> number_token ()
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

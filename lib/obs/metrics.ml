@@ -1,0 +1,62 @@
+module A = Stdlib.Atomic
+
+type kind = Counter | Gauge
+type cell = { name : string; kind : kind; v : int A.t }
+type counter = cell
+type gauge = cell
+
+(* Immutable association list swapped by CAS: lookups are lock-free,
+   and the insert race loser simply retries against the new list.  The
+   registry is small (tens of metrics) and insert-rare (toplevel
+   registration), so a list beats a locked hashtable here. *)
+let registry : cell list A.t = A.make []
+
+let rec register kind name =
+  let cells = A.get registry in
+  match List.find_opt (fun c -> c.name = name) cells with
+  | Some c -> c
+  | None ->
+      let c = { name; kind; v = A.make 0 } in
+      if A.compare_and_set registry cells (c :: cells) then c
+      else register kind name
+
+let counter name = register Counter name
+let gauge name = register Gauge name
+let incr c = A.incr c.v
+let add c n = if n <> 0 then ignore (A.fetch_and_add c.v n)
+let value c = A.get c.v
+let set g n = A.set g.v n
+
+let rec set_max g n =
+  let cur = A.get g.v in
+  if n > cur && not (A.compare_and_set g.v cur n) then set_max g n
+
+let read g = A.get g.v
+
+let find name =
+  A.get registry
+  |> List.find_opt (fun c -> c.name = name)
+  |> Option.map (fun c -> A.get c.v)
+
+let reset () = List.iter (fun c -> A.set c.v 0) (A.get registry)
+
+let snapshot () =
+  A.get registry
+  |> List.map (fun c -> (c.name, A.get c.v))
+  |> List.sort compare
+
+let to_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()))
+
+let pp ppf metrics =
+  if metrics = [] then Format.fprintf ppf "metrics: none registered"
+  else begin
+    let width =
+      List.fold_left (fun w (name, _) -> max w (String.length name)) 0 metrics
+    in
+    Format.fprintf ppf "@[<v>metrics:";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "@,  %-*s %12d" width name v)
+      metrics;
+    Format.fprintf ppf "@]"
+  end

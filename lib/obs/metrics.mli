@@ -1,0 +1,54 @@
+(** Process-global registry of named counters and gauges.
+
+    The generalization of the ad-hoc [Stats] atomics: any subsystem can
+    register a metric by name and bump it from any domain.  Cells are
+    [Stdlib.Atomic] ints behind a lock-free registry (an immutable
+    association list swapped by compare-and-set, exactly the discipline
+    the fuzz counters already used), so instrumentation points cost one
+    atomic read-modify-write and never take a lock.
+
+    Naming convention: dot-separated [subsystem.metric] keys, e.g.
+    ["search.rf_candidates"], ["pool.tasks"], ["fuzz.pass.sound:tso"].
+    Registration is idempotent — asking for an existing name returns
+    the same cell, so modules can register at toplevel without
+    coordination. *)
+
+type counter
+(** Monotonically increasing (between {!reset}s) value. *)
+
+type gauge
+(** Last-write-wins level; {!set_max} keeps a running maximum. *)
+
+val counter : string -> counter
+(** Register (or look up) a counter. *)
+
+val gauge : string -> gauge
+(** Register (or look up) a gauge.  A name registered as a counter
+    stays a counter (and vice versa); the kind of first registration
+    wins. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Raise the gauge to [n] if it is currently lower (atomic). *)
+
+val read : gauge -> int
+
+val find : string -> int option
+(** Current value of a registered metric, by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric.  Cells stay registered, so handles
+    held by instrumentation points remain valid. *)
+
+val snapshot : unit -> (string * int) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val to_json : unit -> Json.t
+(** The snapshot as a flat JSON object [{name: value, ...}]. *)
+
+val pp : Format.formatter -> (string * int) list -> unit
+(** Render a snapshot as an aligned name/value table. *)

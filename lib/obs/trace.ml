@@ -1,0 +1,133 @@
+module A = Stdlib.Atomic
+
+type event = {
+  name : string;
+  cat : string;
+  dur_ns : int option; (* None = instant event *)
+  ts_ns : int; (* relative to sink start *)
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type sink = {
+  file : string;
+  t0 : int;
+  max_events : int;
+  events : event list A.t;
+  count : int A.t;
+  dropped : int A.t;
+}
+
+let sink : sink option A.t = A.make None
+
+let start ?(max_events = 1_000_000) ~file () =
+  A.set sink
+    (Some
+       {
+         file;
+         t0 = Clock.now ();
+         max_events;
+         events = A.make [];
+         count = A.make 0;
+         dropped = A.make 0;
+       })
+
+let active () = A.get sink <> None
+
+(* Lock-free stack push; completion order, not start order — the
+   viewers sort by timestamp, so order in the file is irrelevant. *)
+let push s ev =
+  if A.fetch_and_add s.count 1 < s.max_events then begin
+    let rec go () =
+      let evs = A.get s.events in
+      if not (A.compare_and_set s.events evs (ev :: evs)) then go ()
+    in
+    go ()
+  end
+  else A.incr s.dropped
+
+let record s ~name ~cat ~args ~ts_ns ~dur_ns =
+  push s
+    {
+      name;
+      cat;
+      dur_ns;
+      ts_ns = ts_ns - s.t0;
+      tid = (Domain.self () :> int);
+      args;
+    }
+
+let span ?(cat = "smem") ?(args = []) name f =
+  match A.get sink with
+  | None -> f ()
+  | Some s ->
+      let t0 = Clock.now () in
+      let finally () =
+        record s ~name ~cat ~args ~ts_ns:t0 ~dur_ns:(Some (Clock.elapsed_ns t0))
+      in
+      Fun.protect ~finally f
+
+let instant ?(cat = "smem") ?(args = []) name =
+  match A.get sink with
+  | None -> ()
+  | Some s -> record s ~name ~cat ~args ~ts_ns:(Clock.now ()) ~dur_ns:None
+
+let json_of_event ev =
+  let us ns = ns / 1_000 in
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.tid);
+      ("ts", Json.Int (us ev.ts_ns));
+    ]
+  in
+  match ev.dur_ns with
+  | Some dur ->
+      Json.Obj
+        (base
+        @ [
+            ("ph", Json.Str "X");
+            ("dur", Json.Int (us dur));
+            ("args", Json.Obj (("dur_ns", Json.Int dur) :: ev.args));
+          ])
+  | None ->
+      Json.Obj
+        (base
+        @ [
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("args", Json.Obj ev.args);
+          ])
+
+let stop () =
+  match A.get sink with
+  | None -> ()
+  | Some s ->
+      A.set sink None;
+      let events =
+        A.get s.events |> List.sort (fun a b -> compare a.ts_ns b.ts_ns)
+      in
+      let dropped = A.get s.dropped in
+      if dropped > 0 then
+        Printf.eprintf
+          "trace: event buffer full, %d event(s) dropped (cap %d)\n%!" dropped
+          s.max_events;
+      let doc =
+        Json.Obj
+          [
+            ("displayTimeUnit", Json.Str "ns");
+            ( "otherData",
+              Json.Obj
+                [
+                  ("tool", Json.Str "smem");
+                  ("events", Json.Int (List.length events));
+                  ("dropped", Json.Int dropped);
+                ] );
+            ("traceEvents", Json.Arr (List.map json_of_event events));
+          ]
+      in
+      let oc = open_out s.file in
+      output_string oc (Json.to_string doc);
+      close_out oc

@@ -1,0 +1,41 @@
+(** Span timers with a Chrome trace-event JSON sink.
+
+    A global, initially-disabled sink: {!span} costs one atomic load
+    when tracing is off, so instrumentation can stay in hot paths
+    unconditionally.  {!start} arms the sink; {!stop} writes every
+    recorded event as a Chrome [traceEvents] JSON file (the format
+    read by [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto})
+    and disarms it.
+
+    Events are collected into a lock-free stack, so spans may be opened
+    and closed concurrently from any domain; each event carries the
+    recording domain's id as its [tid], which is how the viewers lane
+    the timeline.  Timestamps come from {!Clock} (monotonic), relative
+    to the {!start} call, emitted in microseconds (the unit the trace
+    format fixes); every duration is also recorded exactly as a
+    [dur_ns] argument since sub-microsecond spans round to [dur: 0].
+
+    A bounded buffer ([max_events], default one million) guards against
+    a traced fuzz campaign exhausting memory: past the cap events are
+    counted but dropped, and the count is reported in the file's
+    metadata and on stderr. *)
+
+val start : ?max_events:int -> file:string -> unit -> unit
+(** Arm the sink; events accumulate in memory until {!stop} writes
+    them to [file].  Restarting an armed sink discards the previous
+    buffer without writing it. *)
+
+val active : unit -> bool
+
+val span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()], recording a complete event around it
+    when the sink is armed (also when [f] raises).  [args] is only
+    evaluated at call sites as a literal list; keep it cheap. *)
+
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** Record a zero-duration instant event (a point marker). *)
+
+val stop : unit -> unit
+(** Write the buffered events to the file given at {!start} and disarm.
+    A no-op when the sink is not armed. *)

@@ -7,13 +7,33 @@
    into a preallocated slot per task, which keeps the output order
    identical to the input order regardless of completion order. *)
 
+module Metrics = Smem_obs.Metrics
+module Trace = Smem_obs.Trace
+
+let tasks_run = Metrics.counter "pool.tasks"
+let maps_run = Metrics.counter "pool.maps"
+let jobs_gauge = Metrics.gauge "pool.jobs"
+
 let default_jobs () = Domain.recommended_domain_count ()
+
+(* One task, observed: a trace span per task (guarded, so the untraced
+   path allocates nothing) and a global task counter. *)
+let run_task f x i =
+  Metrics.incr tasks_run;
+  if Trace.active () then
+    Trace.span ~cat:"pool"
+      ~args:[ ("index", Smem_obs.Json.Int i) ]
+      "pool/task"
+      (fun () -> f x)
+  else f x
 
 let map ~jobs f xs =
   let input = Array.of_list xs in
   let n = Array.length input in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then List.map f xs
+  Metrics.incr maps_run;
+  Metrics.set_max jobs_gauge jobs;
+  if jobs <= 1 then List.mapi (fun i x -> run_task f x i) xs
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -21,8 +41,13 @@ let map ~jobs f xs =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          (* The backtrace is captured with the exception: re-raising
+             with a bare [raise] at the join point would rewrite the
+             trace to point here instead of at the task that failed. *)
           results.(i) <-
-            Some (try Ok (f input.(i)) with e -> Error e);
+            Some
+              (try Ok (run_task f input.(i) i)
+               with e -> Error (e, Printexc.get_raw_backtrace ()));
           loop ()
         end
       in
@@ -34,7 +59,7 @@ let map ~jobs f xs =
     Array.to_list results
     |> List.map (function
          | Some (Ok y) -> y
-         | Some (Error e) -> raise e
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end
 

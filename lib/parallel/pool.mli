@@ -16,7 +16,17 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [jobs <= 1] degrades to [List.map].  If [f] raises, the first
-    exception in input order is re-raised after all workers finish. *)
+(** [jobs <= 1] degrades to [List.map].
+
+    Failure semantics: a task exception does not cancel the pool — the
+    self-scheduling workers keep draining the remaining tasks (there is
+    no cross-domain cancellation), and only once every worker has
+    joined is the first failing task {e in input order} re-raised, with
+    its original backtrace ([Printexc.raise_with_backtrace], so the
+    trace points at the task body, not at the join).
+
+    Each task is counted in the ["pool.tasks"] metric and, when a
+    {!Smem_obs.Trace} sink is armed, wrapped in a [pool/task] span
+    carrying its input index. *)
 
 val iter : jobs:int -> ('a -> unit) -> 'a list -> unit
