@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench bench-figures examples fuzz-smoke certs fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -38,6 +38,17 @@ certs: build
 	dune exec bin/smem.exe -- corpus --certify _build/certs
 	dune exec bin/smem.exe -- cert verify _build/certs/*.cert
 
+# The serving daemon smoke test: pipe the corpus through one `smem
+# serve` process twice; the second pass must be answered entirely from
+# the verdict cache and reproduce the golden conformance suite.
+serve-smoke: build
+	dune exec bin/smem.exe -- api corpus-requests > _build/reqs.ndjson
+	cat _build/reqs.ndjson _build/reqs.ndjson \
+	  | dune exec bin/smem.exe -- serve --metrics \
+	    > _build/responses.ndjson 2> _build/serve-metrics.txt
+	python3 scripts/serve_smoke.py _build/reqs.ndjson \
+	  _build/responses.ndjson test/golden/verdicts.expected
+
 # Formatting needs ocamlformat (version pinned in .ocamlformat).
 fmt:
 	dune fmt
@@ -47,7 +58,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke certs bench-figures
+ci: build test examples fuzz-smoke certs serve-smoke bench-figures
 
 clean:
 	dune clean

@@ -354,6 +354,66 @@ let random_schedule_series () =
         key !violations)
     [ "sc"; "rc-sc"; "rc-pc"; "tso" ]
 
+(* The serving cache, measured end to end: the full corpus × model
+   sweep through a caching Service, cold then warm.  The claim gated on
+   is determinism, not speed: the warm pass must be answered entirely
+   from the cache with verdicts identical to the cold pass.  The
+   speedup is recorded for diffing, never gated (CI machines vary). *)
+let cache_section () =
+  Format.printf
+    "@.== Verdict cache: cold vs. warm corpus pass through the service ==@.";
+  let cache = Smem_cache.Cache.create ~capacity:65536 () in
+  let service = Smem_serve.Service.create ~cache ~jobs:1 () in
+  let req = Smem_api.Request.Corpus { models = [] } in
+  let pass () =
+    let t0 = Clock.now () in
+    let resp = Smem_serve.Service.handle service req in
+    (resp, Clock.elapsed_ns t0)
+  in
+  let cold, cold_ns = pass () in
+  let warm, warm_ns = pass () in
+  let verdicts (r : Smem_api.Response.t) =
+    match r.Smem_api.Response.payload with
+    | Smem_api.Response.Verdicts vs -> vs
+    | _ -> []
+  in
+  let cells = List.length (verdicts cold) in
+  let key (v : Smem_api.Verdict.t) =
+    (v.Smem_api.Verdict.subject, v.Smem_api.Verdict.authority,
+     v.Smem_api.Verdict.status)
+  in
+  let identical =
+    cells > 0
+    && List.equal ( = ) (List.map key (verdicts cold))
+         (List.map key (verdicts warm))
+  in
+  let warm_hits = warm.Smem_api.Response.cached in
+  let all_hot = warm_hits = cells in
+  let speedup_permille = if warm_ns > 0 then 1000 * cold_ns / warm_ns else 0 in
+  record "cache"
+    (Json.Obj
+       [
+         ("cells", Json.Int cells);
+         ("cold_ns", Json.Int cold_ns);
+         ("warm_ns", Json.Int warm_ns);
+         ("cold_hits", Json.Int cold.Smem_api.Response.cached);
+         ("warm_hits", Json.Int warm_hits);
+         ("warm_all_cached", Json.Bool all_hot);
+         ("verdicts_identical", Json.Bool identical);
+         ("speedup_permille", Json.Int speedup_permille);
+       ]);
+  Format.printf
+    "  cold: %8.2f ms (%d/%d cells from cache)@.  warm: %8.2f ms (%d/%d \
+     cells from cache)  speedup %.1fx@."
+    (float cold_ns /. 1e6)
+    cold.Smem_api.Response.cached cells
+    (float warm_ns /. 1e6)
+    warm_hits cells
+    (if warm_ns > 0 then float cold_ns /. float warm_ns else 0.);
+  Format.printf "  warm pass fully cached, verdicts identical: %b %s@."
+    (all_hot && identical)
+    (mark (all_hot && identical))
+
 let fig1_claims ~force_mismatch =
   (* --force-mismatch inverts the paper's Figure 1 expectations so the
      exit-code gate itself is testable: the checkers still answer
@@ -391,6 +451,7 @@ let regenerate_figures ~quick ~force_mismatch =
           (verdict (Smem_core.Tso_operational.check h))
     | None -> ());
     corpus_matrix ();
+    cache_section ();
     search_stats_report ();
     parallel_speedup ();
     random_schedule_series ()

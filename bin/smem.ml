@@ -20,6 +20,11 @@ module Kernel = Smem_cert.Kernel
 module RunnerL = Smem_litmus.Runner
 module Machines = Smem_machine.Machines
 module Driver = Smem_machine.Driver
+module Request = Smem_api.Request
+module Response = Smem_api.Response
+module Verdict = Smem_api.Verdict
+module Wire = Smem_api.Wire
+module Service = Smem_serve.Service
 open Cmdliner
 
 let model_conv =
@@ -67,6 +72,47 @@ let resolve_jobs = function
   | n when n < 1 -> 1
   | n -> n
 
+let default_cache_capacity = 65536
+
+let cache_arg =
+  Arg.(
+    value & opt int default_cache_capacity
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Verdict cache capacity in entries, keyed by canonical history \
+           digest x model (0 disables caching).  Equivalent histories — up \
+           to processor permutation and location/value renaming — share \
+           entries.")
+
+(* Every verdict-producing subcommand goes through one Service: typed
+   requests in, structured responses out; the CLI only parses arguments
+   and renders. *)
+let make_service ?(jobs = 1) capacity =
+  let cache =
+    if capacity > 0 then Some (Smem_cache.Cache.create ~capacity ())
+    else None
+  in
+  Service.create ?cache ~jobs ()
+
+let model_keys models =
+  List.map (fun (m : Model.t) -> m.Model.key) models
+
+let die_on_error (resp : Response.t) =
+  match resp.Response.payload with
+  | Response.Error { message; _ } ->
+      Format.eprintf "error: %s@." message;
+      exit 2
+  | _ -> resp
+
+let verdicts_of_response (resp : Response.t) =
+  match (die_on_error resp).Response.payload with
+  | Response.Verdicts vs -> vs
+  | _ ->
+      Format.eprintf "error: unexpected %s payload@." resp.Response.kind;
+      exit 2
+
+let disagreements vs = List.filter (fun v -> not (Verdict.agrees v)) vs
+
 let stats_arg =
   Arg.(
     value & flag
@@ -106,18 +152,21 @@ let obs_term =
   let combine stats metrics trace = { stats; metrics; trace } in
   Term.(const combine $ stats_arg $ metrics_arg $ trace_arg)
 
-let setup_obs o =
+(* [serve] keeps stdout machine-clean (it is the protocol stream), so
+   it reports on stderr instead. *)
+let setup_obs ?(ppf = Format.std_formatter) o =
   Smem_core.Stats.reset ();
   (match o.trace with
   | Some file -> Smem_obs.Trace.start ~file ()
   | None -> ());
   at_exit (fun () ->
       if o.stats then
-        Format.printf "@.%a@." Smem_core.Stats.pp (Smem_core.Stats.snapshot ());
+        Format.fprintf ppf "@.%a@." Smem_core.Stats.pp
+          (Smem_core.Stats.snapshot ());
       if o.metrics then
-        Format.printf "@.%a@." Smem_obs.Metrics.pp (Smem_obs.Metrics.snapshot ());
-      if o.stats || o.metrics then
-        Format.pp_print_flush Format.std_formatter ();
+        Format.fprintf ppf "@.%a@." Smem_obs.Metrics.pp
+          (Smem_obs.Metrics.snapshot ());
+      if o.stats || o.metrics then Format.pp_print_flush ppf ();
       Smem_obs.Trace.stop ())
 
 let read_file path =
@@ -155,35 +204,46 @@ let certify_arg =
            kernel before writing.  Exits nonzero if the kernel rejects \
            one.  Models without a declared parameter triple are skipped.")
 
-(* Certify every test × model cell into [dir], kernel-checking each
-   certificate before it is written.  Exits 1 if the kernel rejects any
-   (that would mean the engine and the kernel disagree — exactly the bug
-   class certificates exist to catch). *)
-let certify_all ~dir ~format ~models tests =
+(* A test as a request source: corpus tests go by name, anything else
+   travels inline in litmus syntax ({!Print} inverts {!Parse}). *)
+let source_of_test (t : Test.t) =
+  match Corpus.find t.Test.name with
+  | Some _ -> Request.Named t.Test.name
+  | None -> Request.Inline (Smem_litmus.Print.to_string t)
+
+(* Certify every test × model cell into [dir] through the service (the
+   kernel re-checks each certificate before it is answered).  Exits 1
+   if the kernel rejects any (that would mean the engine and the kernel
+   disagree — exactly the bug class certificates exist to catch). *)
+let certify_all ~service ~dir ~format ~models tests =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let written = ref 0 and skipped = ref 0 and rejected = ref 0 in
   List.iter
     (fun (t : Test.t) ->
       List.iter
-        (fun (m : Model.t) ->
-          match RunnerL.certify t m with
-          | None -> incr skipped
-          | Some c -> (
-              match Kernel.verify c with
-              | Error reason ->
-                  Format.eprintf "certificate REJECTED (%s under %s): %s@."
-                    t.Test.name m.Model.key reason;
-                  incr rejected
-              | Ok _ ->
-                  let path =
-                    Filename.concat dir
-                      (Printf.sprintf "%s.%s.cert" t.Test.name m.Model.key)
-                  in
-                  let oc = open_out path in
-                  output_string oc (Cert.to_string ~format c);
-                  close_out oc;
-                  incr written))
-        models)
+        (fun key ->
+          let resp =
+            Service.handle service
+              (Request.Certify { test = source_of_test t; model = key; format })
+          in
+          match resp.Response.payload with
+          | Response.Certificate { body; _ } ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s.%s.cert" t.Test.name key)
+              in
+              let oc = open_out path in
+              output_string oc body;
+              close_out oc;
+              incr written
+          | Response.Error { code = Response.Uncertifiable; _ } ->
+              incr skipped
+          | Response.Error { message; _ } ->
+              Format.eprintf "certificate REJECTED (%s under %s): %s@."
+                t.Test.name key message;
+              incr rejected
+          | _ -> assert false)
+        (model_keys models))
     tests;
   Format.printf
     "%d certificate(s) written to %s (%d cell(s) uncertifiable)@." !written
@@ -231,18 +291,23 @@ let check_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TEST" ~doc:"Corpus test name or litmus file.")
   in
-  let check_one ~models test =
+  let check_one ~service ~models test =
     Format.printf "%s@." (Smem_litmus.Print.to_string test);
-    let results = RunnerL.run_test ~models test in
-    List.iter (fun r -> Format.printf "%a@." RunnerL.pp_result r) results;
-    List.length (RunnerL.mismatches results)
+    let resp =
+      Service.handle service
+        (Request.Check { test = source_of_test test; models = model_keys models })
+    in
+    let vs = verdicts_of_response resp in
+    List.iter (fun v -> Format.printf "%a@." Verdict.pp v) vs;
+    List.length (disagreements vs)
   in
-  let run source models obs certify format =
+  let run source models obs certify format cache =
     setup_obs obs;
     let models = resolve_models models in
+    let service = make_service cache in
     let emit tests =
       match certify with
-      | Some dir -> certify_all ~dir ~format ~models tests
+      | Some dir -> certify_all ~service ~dir ~format ~models tests
       | None -> ()
     in
     if Sys.file_exists source && Sys.is_directory source then begin
@@ -265,7 +330,7 @@ let check_cmd =
               List.iter
                 (fun t ->
                   checked := t :: !checked;
-                  mismatches := !mismatches + check_one ~models t)
+                  mismatches := !mismatches + check_one ~service ~models t)
                 tests)
         files;
       Format.printf "@.%d file(s), %d mismatch(es)@." (List.length files)
@@ -279,7 +344,7 @@ let check_cmd =
           Format.eprintf "error: %s@." msg;
           exit 2
       | Ok test ->
-          let bad = check_one ~models test in
+          let bad = check_one ~service ~models test in
           emit [ test ];
           if bad > 0 then exit 1
   in
@@ -288,26 +353,30 @@ let check_cmd =
        ~doc:
          "Check a litmus test — or every .litmus file in a directory —           against memory models.")
     Term.(const run $ source $ models_arg $ obs_term $ certify_arg
-          $ cert_format_arg)
+          $ cert_format_arg $ cache_arg)
 
 let corpus_cmd =
-  let run models jobs obs certify format =
+  let run models jobs obs certify format cache =
     setup_obs obs;
     let models = resolve_models models in
-    let results = RunnerL.run_all ~jobs:(resolve_jobs jobs) ~models Corpus.all in
-    RunnerL.pp_matrix Format.std_formatter results;
-    let bad = RunnerL.mismatches results in
+    let service = make_service ~jobs:(resolve_jobs jobs) cache in
+    let resp =
+      Service.handle service (Request.Corpus { models = model_keys models })
+    in
+    let vs = verdicts_of_response resp in
+    Verdict.pp_matrix Format.std_formatter vs;
+    let bad = disagreements vs in
     Format.printf "%d verdicts, %d disagree with stated expectations@."
-      (List.length results) (List.length bad);
+      (List.length vs) (List.length bad);
     (match certify with
-    | Some dir -> certify_all ~dir ~format ~models Corpus.all
+    | Some dir -> certify_all ~service ~dir ~format ~models Corpus.all
     | None -> ());
     if bad <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Run the built-in litmus corpus.")
     Term.(const run $ models_arg $ jobs_arg $ obs_term $ certify_arg
-          $ cert_format_arg)
+          $ cert_format_arg $ cache_arg)
 
 let explain_cmd =
   let source =
@@ -359,12 +428,36 @@ let lattice_cmd =
   in
   let run dot jobs obs =
     setup_obs obs;
-    let m =
-      Smem_lattice.Classify.classify_scopes ~jobs:(resolve_jobs jobs)
-        ~models:Registry.comparable Smem_lattice.Classify.standard_scopes
-    in
-    if dot then print_string (Smem_lattice.Classify.to_dot m)
-    else Format.printf "%a@." Smem_lattice.Classify.pp_summary m
+    if dot then
+      (* Graphviz needs the full matrix (witness histories included),
+         so the dot path stays on the library API. *)
+      print_string
+        (Smem_lattice.Classify.to_dot
+           (Smem_lattice.Classify.classify_scopes ~jobs:(resolve_jobs jobs)
+              ~models:Registry.comparable
+              Smem_lattice.Classify.standard_scopes))
+    else
+      let service = make_service ~jobs:(resolve_jobs jobs) 0 in
+      let resp =
+        Service.handle service (Request.Classify { models = []; scopes = [] })
+      in
+      match (die_on_error resp).Response.payload with
+      | Response.Classification { total; allowed; relations; hasse } ->
+          Format.printf "%d histories enumerated@." total;
+          List.iter
+            (fun (key, count) -> Format.printf "  %-12s allows %d@." key count)
+            allowed;
+          Format.printf "pairwise relations:@.";
+          List.iter
+            (fun (a, b, rel) -> Format.printf "  %-12s %-12s %s@." a b rel)
+            (List.filter (fun (a, b, _) -> a < b) relations);
+          Format.printf "Hasse edges (stronger -> weaker):@.";
+          List.iter
+            (fun (s, w) -> Format.printf "  %s -> %s@." s w)
+            hasse
+      | _ ->
+          Format.eprintf "error: unexpected %s payload@." resp.Response.kind;
+          exit 2
   in
   Cmd.v
     (Cmd.info "lattice"
@@ -444,14 +537,37 @@ let distinguish_cmd =
       obs =
     setup_obs obs;
     let scopes =
-      if standard then Smem_lattice.Classify.standard_scopes
-      else
-        [ { Smem_lattice.Enumerate.procs; nlocs; max_value = maxv; labeled } ]
+      if standard then []
+      else [ { Request.procs; nlocs; max_value = maxv; labeled } ]
     in
-    let verdict =
-      Smem_lattice.Distinguish.compare ~jobs:(resolve_jobs jobs) ~a ~b scopes
+    let service = make_service ~jobs:(resolve_jobs jobs) 0 in
+    let resp =
+      Service.handle service
+        (Request.Distinguish { a = a.Model.key; b = b.Model.key; scopes })
     in
-    Format.printf "%a@." (Smem_lattice.Distinguish.pp_verdict ~a ~b) verdict
+    match (die_on_error resp).Response.payload with
+    | Response.Distinction { relation; witnesses } ->
+        (match relation with
+        | "equal" ->
+            Format.printf
+              "%s and %s allow the same histories over the searched scopes@."
+              a.Model.key b.Model.key
+        | "a-stronger" ->
+            Format.printf "%s is strictly stronger than %s@." a.Model.key
+              b.Model.key
+        | "b-stronger" ->
+            Format.printf "%s is strictly stronger than %s@." b.Model.key
+              a.Model.key
+        | _ ->
+            Format.printf "%s and %s are incomparable@." a.Model.key
+              b.Model.key);
+        List.iter
+          (fun (role, litmus) ->
+            Format.printf "@.witness (%s):@.%s@." role (String.trim litmus))
+          witnesses
+    | _ ->
+        Format.eprintf "error: unexpected %s payload@." resp.Response.kind;
+        exit 2
   in
   Cmd.v
     (Cmd.info "distinguish"
@@ -955,6 +1071,66 @@ let cert_cmd =
     (Cmd.info "cert" ~doc:"Audit verdict certificates offline.")
     [ verify ]
 
+let serve_cmd =
+  let batch =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Read up to $(docv) request lines before answering, fanning the \
+             batch across worker domains.  The reader blocks until the \
+             batch fills or input ends, so strict request/response clients \
+             must use $(b,--batch 1); pipelining clients and closed pipes \
+             get cross-request parallelism.")
+  in
+  let run batch jobs cache obs =
+    setup_obs ~ppf:Format.err_formatter obs;
+    let cache =
+      if cache > 0 then Some (Smem_cache.Cache.create ~capacity:cache ())
+      else None
+    in
+    Smem_serve.Server.run ~batch ~jobs:(resolve_jobs jobs) ?cache stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent daemon: read newline-delimited smem-api/1 JSON requests \
+          on stdin, answer with structured verdicts, certificates, \
+          classifications and distinctions on stdout (see docs/API.md).  \
+          Membership verdicts are served from the canonicalizing cache when \
+          already known.")
+    Term.(const run $ batch $ jobs_arg $ cache_arg $ obs_term)
+
+let api_cmd =
+  let models_opt =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"Model key(s) to request (default: all).")
+  in
+  let corpus_requests =
+    (* One Check request line per corpus test: the input half of the CI
+       serve smoke test, and a convenient seed for manual sessions. *)
+    let run models =
+      List.iteri
+        (fun i (t : Test.t) ->
+          print_string
+            (Wire.request_line ~id:(i + 1)
+               (Request.Check { test = Request.Named t.Test.name; models })))
+        Corpus.all
+    in
+    Cmd.v
+      (Cmd.info "corpus-requests"
+         ~doc:
+           "Emit one smem-api/1 Check request per corpus test as \
+            newline-delimited JSON (pipe into $(b,smem serve)).")
+      Term.(const run $ models_opt)
+  in
+  Cmd.group
+    (Cmd.info "api" ~doc:"Produce and inspect smem-api/1 wire traffic.")
+    [ corpus_requests ]
+
 let () =
   let info =
     Cmd.info "smem" ~version:"1.0.0"
@@ -979,4 +1155,6 @@ let () =
             generate_cmd;
             fuzz_cmd;
             cert_cmd;
+            serve_cmd;
+            api_cmd;
           ]))

@@ -1,0 +1,75 @@
+type error_code =
+  | Bad_request
+  | Unknown_model
+  | Unknown_test
+  | Uncertifiable
+  | Rejected
+
+type payload =
+  | Verdicts of Verdict.t list
+  | Classification of {
+      total : int;
+      allowed : (string * int) list;
+      relations : (string * string * string) list;
+      hasse : (string * string) list;
+    }
+  | Distinction of {
+      relation : string;
+      witnesses : (string * string) list;
+    }
+  | Certificate of { format : string; body : string }
+  | Error of { code : error_code; message : string }
+
+type t = {
+  id : int option;
+  kind : string;
+  cached : int;
+  computed : int;
+  elapsed_ns : int;
+  payload : payload;
+}
+
+let ok t = match t.payload with Error _ -> false | _ -> true
+
+let error ?id ~code message =
+  {
+    id;
+    kind = "error";
+    cached = 0;
+    computed = 0;
+    elapsed_ns = 0;
+    payload = Error { code; message };
+  }
+
+let error_code_to_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_model -> "unknown-model"
+  | Unknown_test -> "unknown-test"
+  | Uncertifiable -> "uncertifiable"
+  | Rejected -> "rejected"
+
+let error_code_of_string = function
+  | "bad-request" -> Some Bad_request
+  | "unknown-model" -> Some Unknown_model
+  | "unknown-test" -> Some Unknown_test
+  | "uncertifiable" -> Some Uncertifiable
+  | "rejected" -> Some Rejected
+  | _ -> None
+
+let pp ppf t =
+  match t.payload with
+  | Verdicts vs ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Verdict.pp)
+        vs
+  | Classification { total; relations; _ } ->
+      Format.fprintf ppf "classification over %d histories, %d relation(s)"
+        total (List.length relations)
+  | Distinction { relation; witnesses } ->
+      Format.fprintf ppf "distinction: %s (%d witness(es))" relation
+        (List.length witnesses)
+  | Certificate { format; body } ->
+      Format.fprintf ppf "certificate (%s, %d bytes)" format
+        (String.length body)
+  | Error { code; message } ->
+      Format.fprintf ppf "error %s: %s" (error_code_to_string code) message

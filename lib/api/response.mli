@@ -1,0 +1,58 @@
+(** Structured responses — what every request answers with.
+
+    A response pairs a payload (verdicts, a classification, separating
+    witnesses, a serialized certificate, or a structured error) with
+    serving statistics: how many verdict cells were answered from the
+    cache vs. computed fresh, and the wall time spent.  Like requests,
+    responses are pure data and cross process boundaries via
+    {!Wire}. *)
+
+type error_code =
+  | Bad_request  (** malformed or unparseable request *)
+  | Unknown_model
+  | Unknown_test
+  | Uncertifiable  (** the model declares no parameter triple *)
+  | Rejected
+      (** the independent kernel rejected the certificate the engine
+          emitted — the engine and the kernel disagree *)
+
+type payload =
+  | Verdicts of Verdict.t list  (** [Check] / [Corpus] *)
+  | Classification of {
+      total : int;  (** histories enumerated *)
+      allowed : (string * int) list;  (** histories allowed, per model *)
+      relations : (string * string * string) list;
+          (** (a, b, [equal|stronger|weaker|incomparable]) for every
+              ordered model pair a ≠ b *)
+      hasse : (string * string) list;
+          (** transitive-reduction edges, stronger → weaker *)
+    }  (** [Classify] *)
+  | Distinction of {
+      relation : string;
+          (** [equal], [a-stronger], [b-stronger] or [incomparable] *)
+      witnesses : (string * string) list;
+          (** (role, replayable litmus text) *)
+    }  (** [Distinguish] *)
+  | Certificate of { format : string; body : string }  (** [Certify] *)
+  | Error of { code : error_code; message : string }
+
+type t = {
+  id : int option;  (** echo of the request id, when it carried one *)
+  kind : string;  (** the request kind answered, or [error] *)
+  cached : int;  (** verdict cells answered from the cache *)
+  computed : int;  (** verdict cells computed by the engine *)
+  elapsed_ns : int;
+  payload : payload;
+}
+
+val ok : t -> bool
+(** [false] exactly on an [Error] payload. *)
+
+val error : ?id:int -> code:error_code -> string -> t
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (one-line summary; verdict payloads list
+    one verdict per line). *)

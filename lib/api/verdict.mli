@@ -1,0 +1,74 @@
+(** The toolkit's single verdict vocabulary.
+
+    Every checker in the system answers the same shape of question —
+    {e is this behavior observable?} — about some subject, judged by
+    some authority:
+
+    - the axiomatic checkers decide membership of a history in a
+      model's history set ({!Smem_litmus.Runner});
+    - the machine driver decides reachability of a history on an
+      operational machine ({!Smem_machine.Driver});
+    - the explorer decides reachability of a violating state of a
+      structured program ({!Smem_lang.Explore}).
+
+    Historically each module returned its own shape (a record, a bare
+    bool, a three-way variant).  This record unifies them: [status]
+    always answers whether the queried behavior is admitted ([Allowed])
+    or ruled out ([Forbidden]), [None] when a bounded exploration could
+    not decide; [question] names which question was asked.  The
+    per-module shapes survive as thin compatibility layers that convert
+    into this record. *)
+
+type status = Allowed | Forbidden
+
+type t = {
+  subject : string;  (** test, history, or program being judged *)
+  authority : string;
+      (** who judged: a model key ([sc]) or [machine:<name>] *)
+  question : string;
+      (** what was asked: [membership], [reachability],
+          [mutual-exclusion], [deadlock-freedom], ... *)
+  status : status option;  (** [None]: bounded search, undecided *)
+  expected : status option;  (** stated expectation, when any *)
+  cached : bool;  (** answered from the verdict cache, not recomputed *)
+  states : int option;  (** states explored, for operational verdicts *)
+  notes : string list;
+}
+
+val v :
+  ?question:string ->
+  ?expected:status ->
+  ?cached:bool ->
+  ?states:int ->
+  ?notes:string list ->
+  subject:string ->
+  authority:string ->
+  status option ->
+  t
+(** Build a verdict.  [question] defaults to ["membership"]. *)
+
+val status_of_bool : bool -> status
+(** [true] is [Allowed]. *)
+
+val bool_of_status : status -> bool
+
+val agrees : t -> bool
+(** [true] when there is no stated expectation or the decided status
+    matches it; an undecided verdict never agrees with a stated
+    expectation. *)
+
+val pp_status : Format.formatter -> status -> unit
+(** [allowed] / [forbidden]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: subject, authority, status, and a [MISMATCH] marker when
+    the verdict disagrees with its stated expectation. *)
+
+val pp_matrix : Format.formatter -> t list -> unit
+(** A subject × authority status table, marking disagreements with the
+    stated expectations with [!].  Row and column order follow first
+    appearance in the list; a cell with no verdict prints [-], an
+    undecided one [?]. *)
+
+val to_json : t -> Smem_obs.Json.t
+val of_json : Smem_obs.Json.t -> (t, string) result

@@ -1,0 +1,390 @@
+module Json = Smem_obs.Json
+
+let version = 1
+let schema = "smem-api/1"
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Shared pieces                                                       *)
+
+let source_to_json = function
+  | Request.Named n -> Json.Obj [ ("corpus", Json.Str n) ]
+  | Request.Inline text -> Json.Obj [ ("litmus", Json.Str text) ]
+
+let source_of_json j =
+  match (Json.member "corpus" j, Json.member "litmus" j) with
+  | Some (Json.Str n), None -> Ok (Request.Named n)
+  | None, Some (Json.Str text) -> Ok (Request.Inline text)
+  | _ -> Error "test: expected {\"corpus\": name} or {\"litmus\": text}"
+
+let scope_to_json (s : Request.scope) =
+  Json.Obj
+    [
+      ("procs", Json.Arr (List.map (fun n -> Json.Int n) s.Request.procs));
+      ("locs", Json.Int s.Request.nlocs);
+      ("max_value", Json.Int s.Request.max_value);
+      ("labeled", Json.Bool s.Request.labeled);
+    ]
+
+let scope_of_json j =
+  let* procs =
+    match Json.member "procs" j with
+    | Some (Json.Arr items) ->
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match item with
+            | Json.Int n -> Ok (n :: acc)
+            | _ -> Error "scope: procs must be integers")
+          items (Ok [])
+    | _ -> Error "scope: missing procs array"
+  in
+  let int name default =
+    match Json.member name j with Some (Json.Int n) -> n | _ -> default
+  in
+  let labeled =
+    match Json.member "labeled" j with Some (Json.Bool b) -> b | _ -> false
+  in
+  Ok
+    {
+      Request.procs;
+      nlocs = int "locs" 2;
+      max_value = int "max_value" 1;
+      labeled;
+    }
+
+let str_list_of_json what = function
+  | None -> Ok []
+  | Some (Json.Arr items) ->
+      List.fold_right
+        (fun item acc ->
+          let* acc = acc in
+          match item with
+          | Json.Str s -> Ok (s :: acc)
+          | _ -> Error (what ^ ": expected strings"))
+        items (Ok [])
+  | Some _ -> Error (what ^ ": expected an array")
+
+let scopes_of_json = function
+  | None -> Ok []
+  | Some (Json.Arr items) ->
+      List.fold_right
+        (fun item acc ->
+          let* acc = acc in
+          let* s = scope_of_json item in
+          Ok (s :: acc))
+        items (Ok [])
+  | Some _ -> Error "scopes: expected an array"
+
+let models_field models =
+  ("models", Json.Arr (List.map (fun m -> Json.Str m) models))
+let scopes_field scopes = ("scopes", Json.Arr (List.map scope_to_json scopes))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let request_to_json ?id r =
+  let header =
+    [ ("schema", Json.Str schema) ]
+    @ (match id with None -> [] | Some id -> [ ("id", Json.Int id) ])
+    @ [ ("kind", Json.Str (Request.kind r)) ]
+  in
+  Json.Obj
+    (header
+    @
+    match r with
+    | Request.Check { test; models } ->
+        [ ("test", source_to_json test); models_field models ]
+    | Request.Corpus { models } -> [ models_field models ]
+    | Request.Classify { models; scopes } ->
+        [ models_field models; scopes_field scopes ]
+    | Request.Distinguish { a; b; scopes } ->
+        [ ("a", Json.Str a); ("b", Json.Str b); scopes_field scopes ]
+    | Request.Certify { test; model; format } ->
+        [
+          ("test", source_to_json test);
+          ("model", Json.Str model);
+          ( "format",
+            Json.Str (match format with `Sexp -> "sexp" | `Json -> "json") );
+        ])
+
+let request_of_json j =
+  let* () =
+    match Json.member "schema" j with
+    | None | Some (Json.Str "smem-api/1") -> Ok ()
+    | Some (Json.Str other) ->
+        Error
+          (Printf.sprintf "unsupported schema %S (this server speaks %s)"
+             other schema)
+    | Some _ -> Error "schema: expected a string"
+  in
+  let id =
+    match Json.member "id" j with Some (Json.Int n) -> Some n | _ -> None
+  in
+  let str name =
+    match Json.member name j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let source () =
+    match Json.member "test" j with
+    | Some t -> source_of_json t
+    | None -> Error "missing \"test\" field"
+  in
+  let* kind = str "kind" in
+  let* req =
+    match kind with
+    | "check" ->
+        let* test = source () in
+        let* models = str_list_of_json "models" (Json.member "models" j) in
+        Ok (Request.Check { test; models })
+    | "corpus" ->
+        let* models = str_list_of_json "models" (Json.member "models" j) in
+        Ok (Request.Corpus { models })
+    | "classify" ->
+        let* models = str_list_of_json "models" (Json.member "models" j) in
+        let* scopes = scopes_of_json (Json.member "scopes" j) in
+        Ok (Request.Classify { models; scopes })
+    | "distinguish" ->
+        let* a = str "a" in
+        let* b = str "b" in
+        let* scopes = scopes_of_json (Json.member "scopes" j) in
+        Ok (Request.Distinguish { a; b; scopes })
+    | "certify" ->
+        let* test = source () in
+        let* model = str "model" in
+        let* format =
+          match Json.member "format" j with
+          | None | Some (Json.Str "sexp") -> Ok `Sexp
+          | Some (Json.Str "json") -> Ok `Json
+          | Some _ -> Error "format: expected \"sexp\" or \"json\""
+        in
+        Ok (Request.Certify { test; model; format })
+    | other -> Error (Printf.sprintf "unknown request kind %S" other)
+  in
+  Ok (id, req)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let payload_to_json = function
+  | Response.Verdicts vs ->
+      Json.Obj [ ("verdicts", Json.Arr (List.map Verdict.to_json vs)) ]
+  | Response.Classification { total; allowed; relations; hasse } ->
+      Json.Obj
+        [
+          ("total", Json.Int total);
+          ( "allowed",
+            Json.Arr
+              (List.map
+                 (fun (m, n) ->
+                   Json.Obj [ ("model", Json.Str m); ("count", Json.Int n) ])
+                 allowed) );
+          ( "relations",
+            Json.Arr
+              (List.map
+                 (fun (a, b, rel) ->
+                   Json.Obj
+                     [
+                       ("a", Json.Str a);
+                       ("b", Json.Str b);
+                       ("relation", Json.Str rel);
+                     ])
+                 relations) );
+          ( "hasse",
+            Json.Arr
+              (List.map
+                 (fun (s, w) ->
+                   Json.Obj
+                     [ ("stronger", Json.Str s); ("weaker", Json.Str w) ])
+                 hasse) );
+        ]
+  | Response.Distinction { relation; witnesses } ->
+      Json.Obj
+        [
+          ("relation", Json.Str relation);
+          ( "witnesses",
+            Json.Arr
+              (List.map
+                 (fun (role, litmus) ->
+                   Json.Obj
+                     [ ("role", Json.Str role); ("litmus", Json.Str litmus) ])
+                 witnesses) );
+        ]
+  | Response.Certificate { format; body } ->
+      Json.Obj [ ("format", Json.Str format); ("body", Json.Str body) ]
+  | Response.Error { code; message } ->
+      Json.Obj
+        [
+          ("error", Json.Str (Response.error_code_to_string code));
+          ("message", Json.Str message);
+        ]
+
+let response_to_json (t : Response.t) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("id", match t.Response.id with Some n -> Json.Int n | None -> Json.Null);
+      ("kind", Json.Str t.Response.kind);
+      ("ok", Json.Bool (Response.ok t));
+      ("cached", Json.Int t.Response.cached);
+      ("computed", Json.Int t.Response.computed);
+      ("elapsed_ns", Json.Int t.Response.elapsed_ns);
+      ("payload", payload_to_json t.Response.payload);
+    ]
+
+let payload_of_json ~kind j =
+  match Json.member "error" j with
+  | Some (Json.Str code) ->
+      let* code =
+        match Response.error_code_of_string code with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "unknown error code %S" code)
+      in
+      let message =
+        match Json.member "message" j with Some (Json.Str m) -> m | _ -> ""
+      in
+      Ok (Response.Error { code; message })
+  | Some _ -> Error "error: expected a string code"
+  | None -> (
+      match kind with
+      | "check" | "corpus" -> (
+          match Json.member "verdicts" j with
+          | Some (Json.Arr items) ->
+              let* vs =
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    let* v = Verdict.of_json item in
+                    Ok (v :: acc))
+                  items (Ok [])
+              in
+              Ok (Response.Verdicts vs)
+          | _ -> Error "payload: missing verdicts array")
+      | "classify" ->
+          let total =
+            match Json.member "total" j with Some (Json.Int n) -> n | _ -> 0
+          in
+          let* allowed =
+            match Json.member "allowed" j with
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match
+                      (Json.member "model" item, Json.member "count" item)
+                    with
+                    | Some (Json.Str m), Some (Json.Int n) -> Ok ((m, n) :: acc)
+                    | _ -> Error "allowed: expected {model, count}")
+                  items (Ok [])
+            | _ -> Error "payload: missing allowed array"
+          in
+          let* relations =
+            match Json.member "relations" j with
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match
+                      ( Json.member "a" item,
+                        Json.member "b" item,
+                        Json.member "relation" item )
+                    with
+                    | Some (Json.Str a), Some (Json.Str b), Some (Json.Str r)
+                      ->
+                        Ok ((a, b, r) :: acc)
+                    | _ -> Error "relations: expected {a, b, relation}")
+                  items (Ok [])
+            | _ -> Error "payload: missing relations array"
+          in
+          let* hasse =
+            match Json.member "hasse" j with
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match
+                      (Json.member "stronger" item, Json.member "weaker" item)
+                    with
+                    | Some (Json.Str s), Some (Json.Str w) ->
+                        Ok ((s, w) :: acc)
+                    | _ -> Error "hasse: expected {stronger, weaker}")
+                  items (Ok [])
+            | _ -> Error "payload: missing hasse array"
+          in
+          Ok (Response.Classification { total; allowed; relations; hasse })
+      | "distinguish" ->
+          let* relation =
+            match Json.member "relation" j with
+            | Some (Json.Str r) -> Ok r
+            | _ -> Error "payload: missing relation"
+          in
+          let* witnesses =
+            match Json.member "witnesses" j with
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match
+                      (Json.member "role" item, Json.member "litmus" item)
+                    with
+                    | Some (Json.Str role), Some (Json.Str text) ->
+                        Ok ((role, text) :: acc)
+                    | _ -> Error "witnesses: expected {role, litmus}")
+                  items (Ok [])
+            | _ -> Error "payload: missing witnesses array"
+          in
+          Ok (Response.Distinction { relation; witnesses })
+      | "certify" -> (
+          match (Json.member "format" j, Json.member "body" j) with
+          | Some (Json.Str format), Some (Json.Str body) ->
+              Ok (Response.Certificate { format; body })
+          | _ -> Error "payload: expected {format, body}")
+      | other -> Error (Printf.sprintf "unknown response kind %S" other))
+
+let response_of_json j =
+  let* () =
+    match Json.member "schema" j with
+    | None | Some (Json.Str "smem-api/1") -> Ok ()
+    | Some _ -> Error "unsupported schema"
+  in
+  let id =
+    match Json.member "id" j with Some (Json.Int n) -> Some n | _ -> None
+  in
+  let* kind =
+    match Json.member "kind" j with
+    | Some (Json.Str k) -> Ok k
+    | _ -> Error "missing kind"
+  in
+  let int name =
+    match Json.member name j with Some (Json.Int n) -> n | _ -> 0
+  in
+  let* payload =
+    match Json.member "payload" j with
+    | Some p -> payload_of_json ~kind p
+    | None -> Error "missing payload"
+  in
+  Ok
+    {
+      Response.id;
+      kind;
+      cached = int "cached";
+      computed = int "computed";
+      elapsed_ns = int "elapsed_ns";
+      payload;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Line framing ({!Smem_obs.Json.to_string} is newline-terminated)     *)
+
+let request_line ?id r = Json.to_string (request_to_json ?id r)
+let response_line t = Json.to_string (response_to_json t)
+
+let parse_line of_json line =
+  match Json.of_string line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> of_json j
+
+let parse_request_line line = parse_line request_of_json line
+let parse_response_line line = parse_line response_of_json line

@@ -1,0 +1,35 @@
+(** The [smem-api/1] JSON wire schema.
+
+    One JSON object per line (newline-delimited JSON) in each
+    direction; see docs/API.md for the full field-by-field
+    specification.  The printer/parser pair round-trips:
+    [request_of_json (request_to_json ~id r) = Ok (id, r)], and
+    likewise for responses.
+
+    Requests carry an optional client-chosen [id], echoed verbatim in
+    the response so a client can pipeline requests and match answers;
+    without one, the server numbers requests by arrival order. *)
+
+val version : int
+(** [1]. *)
+
+val schema : string
+(** ["smem-api/1"] — the value of the [schema] field on every request
+    and response.  Parsers accept a missing [schema] and reject any
+    other value. *)
+
+val request_to_json : ?id:int -> Request.t -> Smem_obs.Json.t
+
+val request_of_json :
+  Smem_obs.Json.t -> (int option * Request.t, string) result
+
+val response_to_json : Response.t -> Smem_obs.Json.t
+val response_of_json : Smem_obs.Json.t -> (Response.t, string) result
+
+val request_line : ?id:int -> Request.t -> string
+(** The request as one newline-terminated JSON line. *)
+
+val response_line : Response.t -> string
+
+val parse_request_line : string -> (int option * Request.t, string) result
+val parse_response_line : string -> (Response.t, string) result

@@ -1,0 +1,131 @@
+module Metrics = Smem_obs.Metrics
+
+let m_hits = Metrics.counter "cache.hits"
+let m_misses = Metrics.counter "cache.misses"
+let m_evictions = Metrics.counter "cache.evictions"
+let m_stores = Metrics.counter "cache.stores"
+
+type shard = {
+  lock : Mutex.t;
+  table : (string * string, bool) Hashtbl.t;
+  order : (string * string) Queue.t;  (* insertion order, oldest first *)
+  cap : int;
+}
+
+type t = {
+  shards : shard array;
+  mask : int;
+  capacity : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(shards = 8) ~capacity () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  if shards <= 0 then invalid_arg "Cache.create: shards must be positive";
+  let nshards = min (next_pow2 shards) (next_pow2 capacity) in
+  let cap = (capacity + nshards - 1) / nshards in
+  {
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create (min cap 64);
+            order = Queue.create ();
+            cap;
+          });
+    mask = nshards - 1;
+    capacity;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let shard_of t digest = t.shards.(Hashtbl.hash digest land t.mask)
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let find t ~digest ~model =
+  let s = shard_of t digest in
+  let r = locked s (fun () -> Hashtbl.find_opt s.table (digest, model)) in
+  (match r with
+  | Some _ ->
+      Atomic.incr t.hits;
+      Metrics.incr m_hits
+  | None ->
+      Atomic.incr t.misses;
+      Metrics.incr m_misses);
+  r
+
+let add t ~digest ~model verdict =
+  let s = shard_of t digest in
+  let evicted =
+    locked s (fun () ->
+        let key = (digest, model) in
+        let fresh = not (Hashtbl.mem s.table key) in
+        let evicted =
+          if fresh && Hashtbl.length s.table >= s.cap then begin
+            let oldest = Queue.pop s.order in
+            Hashtbl.remove s.table oldest;
+            1
+          end
+          else 0
+        in
+        Hashtbl.replace s.table key verdict;
+        if fresh then Queue.push key s.order;
+        evicted)
+  in
+  Metrics.incr m_stores;
+  if evicted > 0 then begin
+    Atomic.fetch_and_add t.evictions evicted |> ignore;
+    Metrics.add m_evictions evicted
+  end
+
+let find_or_add t ~digest ~model compute =
+  match find t ~digest ~model with
+  | Some v -> (v, true)
+  | None ->
+      let v = compute () in
+      add t ~digest ~model v;
+      (v, false)
+
+let stats t =
+  let entries =
+    Array.fold_left
+      (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.table))
+      0 t.shards
+  in
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    entries;
+    capacity = t.capacity;
+  }
+
+let clear t =
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.table;
+          Queue.clear s.order))
+    t.shards
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "%d/%d entries, %d hit(s), %d miss(es), %d eviction(s)"
+    s.entries s.capacity s.hits s.misses s.evictions

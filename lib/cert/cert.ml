@@ -8,7 +8,7 @@ type row_op = {
   at : (int * int) option;
 }
 
-type verdict = Allowed | Forbidden
+type verdict = Smem_api.Verdict.status = Allowed | Forbidden
 
 type evidence =
   | Witness of {

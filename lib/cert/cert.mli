@@ -29,7 +29,10 @@ type row_op = {
   at : (int * int) option;  (** real-time interval, when recorded *)
 }
 
-type verdict = Allowed | Forbidden
+type verdict = Smem_api.Verdict.status = Allowed | Forbidden
+(** Alias of {!Smem_api.Verdict.status} — one verdict type across the
+    toolkit; the constructors are re-exported so existing code keeps
+    compiling. *)
 
 type evidence =
   | Witness of {

@@ -46,8 +46,8 @@ let absorb_violations acc violations =
     acc violations
 
 (* One history through the lattice oracle, with bookkeeping. *)
-let check_history ~case acc h =
-  let violations = Oracle.lattice ~case h in
+let check_history ~service ~case acc h =
+  let violations = Oracle.lattice ~service ~case h in
   absorb_violations
     {
       acc with
@@ -56,16 +56,16 @@ let check_history ~case acc h =
     }
     violations
 
-let check_machine_trace ~case acc machine h =
-  let acc = check_history ~case acc h in
+let check_machine_trace ~service ~case acc machine h =
+  let acc = check_history ~service ~case acc h in
   let acc = { acc with machine_runs = acc.machine_runs + 1 } in
-  match Oracle.soundness ~case machine h with
+  match Oracle.soundness ~service ~case machine h with
   | None -> acc
   | Some v -> absorb_violations acc [ v ]
 
 let fuzz_cases = Smem_obs.Metrics.counter "fuzz.cases"
 
-let run_case (c : Gen.config) i =
+let run_case ~service (c : Gen.config) i =
   Smem_obs.Metrics.incr fuzz_cases;
   Smem_obs.Trace.span ~cat:"fuzz"
     ~args:[ ("case", Smem_obs.Json.Int i) ]
@@ -73,7 +73,7 @@ let run_case (c : Gen.config) i =
   @@ fun () ->
   let rand = Gen.case_rand c i in
   let acc = { empty with cases = 1 } in
-  let acc = check_history ~case:i acc (Gen.history c ~rand) in
+  let acc = check_history ~service ~case:i acc (Gen.history c ~rand) in
   let acc =
     if not c.machines then acc
     else begin
@@ -81,7 +81,7 @@ let run_case (c : Gen.config) i =
       List.fold_left
         (fun acc machine ->
           let h = Driver.run_random machine program ~rand in
-          check_machine_trace ~case:i acc machine h)
+          check_machine_trace ~service ~case:i acc machine h)
         acc Machines.all
     end
   in
@@ -90,7 +90,7 @@ let run_case (c : Gen.config) i =
     List.fold_left
       (fun acc machine ->
         let h, _violated = Smem_lang.Explore.run_random machine program ~rand in
-        check_machine_trace ~case:i acc machine h)
+        check_machine_trace ~service ~case:i acc machine h)
       acc Machines.all
   end
   else acc
@@ -106,11 +106,18 @@ let merge a b =
     cert_failures = a.cert_failures @ b.cert_failures;
   }
 
+let verdict_cache_capacity = 8192
+
 let run (c : Gen.config) =
   Gen.validate c;
   let jobs = max 1 c.jobs in
+  (* One campaign-wide caching service: the sharded cache is
+     domain-safe, so worker domains share verdicts on canonically
+     equivalent histories (shrink candidates especially recur). *)
+  let cache = Smem_cache.Cache.create ~capacity:verdict_cache_capacity () in
+  let service = Smem_serve.Service.create ~cache ~jobs:1 () in
   List.init c.count Fun.id
-  |> Smem_parallel.Pool.map ~jobs (run_case c)
+  |> Smem_parallel.Pool.map ~jobs (run_case ~service c)
   |> List.fold_left merge empty
 
 let pp_summary ppf o =

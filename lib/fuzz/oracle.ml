@@ -21,6 +21,15 @@ type violation = {
   certificate : Cert.t option;
 }
 
+(* Route verdict queries through a caching {!Smem_serve.Service} when
+   one is supplied: campaign-wide, structurally equivalent histories
+   (and every shrink candidate) then cost one digest instead of one
+   search. *)
+let query ?service model h =
+  match service with
+  | Some s -> Smem_serve.Service.check_history s model h
+  | None -> Model.check model h
+
 let sound_key machine = "sound:" ^ machine
 let pair_key s w = s ^ "<=" ^ w
 
@@ -32,7 +41,7 @@ let pair_key s w = s ^ "<=" ^ w
    (all §5 considers), so RC soundness is asserted only there. *)
 let proper_labels_only_models = [ "rc-sc"; "rc-pc" ]
 
-let soundness ~case machine h =
+let soundness ?service ~case machine h =
   let model = Machines.model machine in
   let machine_name = Machines.name machine in
   let key = sound_key machine_name in
@@ -40,7 +49,7 @@ let soundness ~case machine h =
     List.mem model.Model.key proper_labels_only_models
     && not (Figure5.properly_labeled h)
   then None
-  else if Model.check model h then begin
+  else if query ?service model h then begin
     Stats.count_fuzz_pass key;
     None
   end
@@ -49,7 +58,7 @@ let soundness ~case machine h =
     (* Shrink under "still a machine trace and still rejected": guided
        replay keeps the minimized history producible by the machine. *)
     let keep h' =
-      (not (Model.check model h'))
+      (not (query ?service model h'))
       && Driver.reachable machine (Driver.program_of_history h') h'
     in
     let shrunk, steps = Shrink.shrink ~keep h in
@@ -80,7 +89,7 @@ let soundness ~case machine h =
       }
   end
 
-let lattice ?pairs ~case h =
+let lattice ?service ?pairs ~case h =
   let pairs = match pairs with Some ps -> ps | None -> Figure5.pairs h in
   (* Each model's verdict on [h] is needed by several pairs; memoize. *)
   let verdicts : (string, bool) Hashtbl.t = Hashtbl.create 8 in
@@ -89,17 +98,17 @@ let lattice ?pairs ~case h =
       match Hashtbl.find_opt verdicts m.Model.key with
       | Some v -> v
       | None ->
-          let v = Model.check m hist in
+          let v = query ?service m hist in
           Hashtbl.add verdicts m.Model.key v;
           v
-    else Model.check m hist
+    else query ?service m hist
   in
   List.filter_map
     (fun ((stronger : Model.t), (weaker : Model.t)) ->
       let key = pair_key stronger.Model.key weaker.Model.key in
       if check stronger h && not (check weaker h) then begin
         Stats.count_fuzz_fail key;
-        let keep h' = Model.check stronger h' && not (Model.check weaker h') in
+        let keep h' = query ?service stronger h' && not (query ?service weaker h') in
         let shrunk, steps = Shrink.shrink ~keep h in
         Stats.add_fuzz_shrink key steps;
         let test =

@@ -41,11 +41,16 @@ type violation = {
 }
 
 val soundness :
+  ?service:Smem_serve.Service.t ->
   case:int ->
   Smem_machine.Machine_sig.machine ->
   Smem_core.History.t ->
   violation option
 (** Check one machine-produced history against the machine's model.
+    [?service] routes every model query (including shrink keep
+    predicates) through a caching {!Smem_serve.Service}, so
+    canonically equivalent histories across the campaign are checked
+    once; without it, {!Smem_core.Model.check} is called directly.
     On failure the counterexample is shrunk under the conjunction
     "still machine-reachable (guided replay) and still
     model-rejected", so the minimal history is a genuine machine trace.
@@ -58,6 +63,7 @@ val soundness :
     claimed under the §5 labeling discipline. *)
 
 val lattice :
+  ?service:Smem_serve.Service.t ->
   ?pairs:(Smem_core.Model.t * Smem_core.Model.t) list ->
   case:int ->
   Smem_core.History.t ->

@@ -279,3 +279,18 @@ let run_random ?(fuel = 10_000) (module M : Smem_machine.Machine_sig.MACHINE)
     H.of_ops ~nprocs:nthreads ~loc_names:(Ast.loc_names layout) ops
   in
   (history, !violated)
+
+let to_verdict ~machine ~subject = function
+  | Safe states ->
+      Smem_api.Verdict.v ~question:"mutual-exclusion" ~subject
+        ~authority:("machine:" ^ machine) ~states
+        (Some Smem_api.Verdict.Forbidden)
+  | Violation trace ->
+      Smem_api.Verdict.v ~question:"mutual-exclusion" ~subject
+        ~authority:("machine:" ^ machine) ~notes:trace
+        (Some Smem_api.Verdict.Allowed)
+  | State_limit ->
+      Smem_api.Verdict.v ~question:"mutual-exclusion" ~subject
+        ~authority:("machine:" ^ machine)
+        ~notes:[ "state or fuel bound hit; verdict undecided" ]
+        None

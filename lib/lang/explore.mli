@@ -60,3 +60,11 @@ val run_random :
 (** One random schedule to completion.  Returns the history of memory
     operations performed and whether mutual exclusion was violated
     during the run. *)
+
+val to_verdict :
+  machine:string -> subject:string -> verdict -> Smem_api.Verdict.t
+(** The exploration verdict as a shared API verdict answering the
+    question [mutual-exclusion]: {e is a violation observable?}  So
+    [Safe] maps to [Forbidden] (with the explored state count),
+    [Violation] to [Allowed] (with the trace as notes), and
+    [State_limit] to an undecided [None] status. *)

@@ -33,65 +33,11 @@ let mismatches results = List.filter (fun r -> not (agrees r)) results
 let certify test model =
   Smem_cert.Cert.certify model ~name:test.Test.name test.Test.history
 
-let pp_result ppf r =
-  Format.fprintf ppf "%-16s %-10s %a%s" r.test.Test.name r.model.Model.key
-    Test.pp_verdict r.got
-    (match r.expected with
-    | Some e when e <> r.got ->
-        Format.asprintf "  (MISMATCH: expected %a)" Test.pp_verdict e
-    | _ -> "")
+let verdict r =
+  Smem_api.Verdict.v ~subject:r.test.Test.name ~authority:r.model.Model.key
+    ?expected:r.expected (Some r.got)
 
-(* Render the verdict matrix from results already computed by
-   {!run_all}: the old version re-ran [Model.check] for every cell even
-   when the caller had just run the full matrix, doubling every
-   search. *)
-let pp_matrix ppf results =
-  let dedupe key xs =
-    let seen = Hashtbl.create 16 in
-    List.filter
-      (fun x ->
-        let k = key x in
-        if Hashtbl.mem seen k then false
-        else begin
-          Hashtbl.add seen k ();
-          true
-        end)
-      xs
-  in
-  let tests = dedupe (fun r -> r.test.Test.name) results in
-  let models = dedupe (fun r -> r.model.Model.key) results in
-  let by_cell = Hashtbl.create (List.length results) in
-  List.iter
-    (fun r -> Hashtbl.replace by_cell (r.test.Test.name, r.model.Model.key) r)
-    results;
-  let render r =
-    let mark =
-      match r.expected with
-      | Some e when e <> r.got -> "!"
-      | Some _ -> ""
-      | None -> " "
-    in
-    (match r.got with Test.Allowed -> "yes" | Test.Forbidden -> "no") ^ mark
-  in
-  Format.fprintf ppf "%-16s" "test";
-  List.iter
-    (fun r -> Format.fprintf ppf " %-10s" r.model.Model.key)
-    models;
-  Format.fprintf ppf "@.";
-  List.iter
-    (fun tr ->
-      Format.fprintf ppf "%-16s" tr.test.Test.name;
-      List.iter
-        (fun mr ->
-          let s =
-            match
-              Hashtbl.find_opt by_cell
-                (tr.test.Test.name, mr.model.Model.key)
-            with
-            | Some r -> render r
-            | None -> "-"
-          in
-          Format.fprintf ppf " %-10s" s)
-        models;
-      Format.fprintf ppf "@.")
-    tests
+(* Rendering delegates to the shared API layer; the formats are
+   byte-identical to what this module printed before the extraction. *)
+let pp_result ppf r = Smem_api.Verdict.pp ppf (verdict r)
+let pp_matrix ppf results = Smem_api.Verdict.pp_matrix ppf (List.map verdict results)

@@ -28,7 +28,13 @@ val certify : Test.t -> Smem_core.Model.t -> Smem_cert.Cert.t option
     certificate ({!Smem_cert.Cert.certify} with the test's name).
     [None] when the model is not certifiable. *)
 
+val verdict : result -> Smem_api.Verdict.t
+(** The result as a shared API verdict (subject = test name, authority
+    = model key, question [membership]). *)
+
 val pp_result : Format.formatter -> result -> unit
+(** Delegates to {!Smem_api.Verdict.pp}; the output format is
+    unchanged. *)
 
 val pp_matrix : Format.formatter -> result list -> unit
 (** A test × model verdict table rendered from {!run_all} results (so

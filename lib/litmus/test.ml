@@ -1,4 +1,4 @@
-type verdict = Allowed | Forbidden
+type verdict = Smem_api.Verdict.status = Allowed | Forbidden
 
 type t = {
   name : string;
@@ -15,9 +15,6 @@ let of_history ~name ?(doc = "") ~expect history =
 
 let expected t key = List.assoc_opt key t.expectations
 
-let pp_verdict ppf = function
-  | Allowed -> Format.pp_print_string ppf "allowed"
-  | Forbidden -> Format.pp_print_string ppf "forbidden"
-
-let verdict_of_bool b = if b then Allowed else Forbidden
-let bool_of_verdict = function Allowed -> true | Forbidden -> false
+let pp_verdict = Smem_api.Verdict.pp_status
+let verdict_of_bool = Smem_api.Verdict.status_of_bool
+let bool_of_verdict = Smem_api.Verdict.bool_of_status

@@ -4,7 +4,10 @@
     not state an expectation for every model — unstated models are
     simply not checked against ground truth. *)
 
-type verdict = Allowed | Forbidden
+type verdict = Smem_api.Verdict.status = Allowed | Forbidden
+(** Alias of {!Smem_api.Verdict.status}: the constructors are shared,
+    so existing pattern matches keep compiling while the unified API
+    layer speaks one verdict type. *)
 
 type t = {
   name : string;

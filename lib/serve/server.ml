@@ -1,0 +1,56 @@
+module Wire = Smem_api.Wire
+module Response = Smem_api.Response
+module Metrics = Smem_obs.Metrics
+
+let m_requests = Metrics.counter "serve.requests"
+let m_batches = Metrics.counter "serve.batches"
+let m_parse_errors = Metrics.counter "serve.parse_errors"
+
+let read_batch ic batch =
+  let rec go acc n =
+    if n >= batch then List.rev acc
+    else
+      match In_channel.input_line ic with
+      | None -> List.rev acc
+      | Some line -> go (line :: acc) (n + 1)
+  in
+  go [] 0
+
+let run ?(batch = 16) ?jobs ?cache ic oc =
+  let jobs =
+    match jobs with Some j -> j | None -> Smem_parallel.Pool.default_jobs ()
+  in
+  let batch = max 1 batch in
+  let service = Service.create ?cache ~jobs:1 () in
+  let next_id = ref 0 in
+  let answer line =
+    incr next_id;
+    let arrival = !next_id in
+    match Wire.parse_request_line line with
+    | Error message ->
+        Metrics.incr m_parse_errors;
+        fun () ->
+          Response.error ~id:arrival ~code:Response.Bad_request message
+    | Ok (id, req) ->
+        let id = Option.value id ~default:arrival in
+        fun () -> Service.handle ~id service req
+  in
+  let rec loop () =
+    match read_batch ic batch with
+    | [] -> ()
+    | lines ->
+        Metrics.incr m_batches;
+        Metrics.add m_requests (List.length lines);
+        (* Parse sequentially (arrival numbering is stateful), execute
+           in parallel, emit in order. *)
+        let tasks = List.map answer lines in
+        let responses =
+          Smem_parallel.Pool.map ~jobs (fun task -> task ()) tasks
+        in
+        List.iter
+          (fun resp -> Out_channel.output_string oc (Wire.response_line resp))
+          responses;
+        Out_channel.flush oc;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,35 @@
+(** The [smem serve] daemon loop: newline-delimited JSON over a
+    channel pair.
+
+    Requests arrive one JSON object per line ({!Smem_api.Wire}),
+    responses leave the same way, in request order.  The loop reads up
+    to [batch] lines, executes the batch's independent requests across
+    a {!Smem_parallel.Pool}, writes the responses, flushes, and
+    repeats until end of input.
+
+    Batching semantics: the reader {e blocks} until the batch fills or
+    input ends, so a client that waits for an answer before sending its
+    next request must run with [batch = 1] (strict request/response
+    alternation).  Pipelining clients — and pipes that send a whole
+    corpus and close, like the CI smoke test — get cross-request
+    parallelism for free.
+
+    Requests that carry no [id] are numbered by arrival order
+    (starting at 1) so every response is attributable.  Unparseable
+    lines produce [bad-request] error responses in position, and never
+    tear the loop down.
+
+    Metrics: [serve.requests], [serve.batches], [serve.parse_errors]
+    in {!Smem_obs.Metrics}. *)
+
+val run :
+  ?batch:int ->
+  ?jobs:int ->
+  ?cache:Smem_cache.Cache.t ->
+  in_channel ->
+  out_channel ->
+  unit
+(** [batch] defaults to [16]; [jobs] (default
+    {!Smem_parallel.Pool.default_jobs}) bounds the domains used per
+    batch.  The underlying {!Service.t} is built with [jobs = 1]:
+    parallelism comes from fanning requests, never nested pools. *)

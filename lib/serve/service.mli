@@ -1,0 +1,37 @@
+(** The engine behind the typed API: executes {!Smem_api.Request}s.
+
+    One service instance owns an optional verdict cache and a
+    parallelism budget.  Membership questions (check/corpus cells, and
+    the fuzzer's oracle queries via {!check_history}) are answered
+    through the cache when one is attached, keyed by
+    [(Canon.digest history, model key)] — so a history resubmitted
+    under any processor permutation or location/value renaming is a
+    cache hit.  Classification and distinction requests enumerate
+    history spaces and are always computed fresh.
+
+    [jobs] bounds the worker domains {e one} request may use.  The
+    {!Server} fans whole requests across a pool instead, so it builds
+    its service with [jobs = 1] — nesting pools would multiply
+    domains. *)
+
+type t
+
+val create : ?cache:Smem_cache.Cache.t -> ?jobs:int -> unit -> t
+(** [jobs] defaults to [1]. *)
+
+val cache : t -> Smem_cache.Cache.t option
+
+val check_model :
+  t -> Smem_core.Model.t -> Smem_core.History.t -> bool * bool
+(** [(verdict, cached)] — is the history allowed by the model, and was
+    the answer served from the cache. *)
+
+val check_history : t -> Smem_core.Model.t -> Smem_core.History.t -> bool
+(** [fst (check_model t m h)] — drop-in for {!Smem_core.Model.check}
+    call sites that want caching without the provenance bit. *)
+
+val handle : ?id:int -> t -> Smem_api.Request.t -> Smem_api.Response.t
+(** Execute one request.  Never raises on bad input — unknown models or
+    tests, unparseable litmus text, uncertifiable models and
+    kernel-rejected certificates all come back as structured
+    {!Smem_api.Response.Error} payloads. *)

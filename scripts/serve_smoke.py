@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check the `smem serve` smoke-run output.
+
+Usage: serve_smoke.py REQS RESPONSES GOLDEN
+
+REQS is the request file produced by `smem api corpus-requests`;
+RESPONSES is the server's output for that file concatenated with
+itself (a cold pass followed by a warm pass over one process).
+Asserts that
+
+  - every request got exactly one successful response, in order;
+  - the warm pass computed nothing: every cell came from the cache;
+  - warm verdicts are identical to cold verdicts; and
+  - the cold verdicts reproduce test/golden/verdicts.expected exactly.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"serve-smoke: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail(f"usage: {sys.argv[0]} REQS RESPONSES GOLDEN")
+    reqs_path, resp_path, golden_path = sys.argv[1:]
+
+    with open(reqs_path) as f:
+        reqs = [json.loads(line) for line in f if line.strip()]
+    with open(resp_path) as f:
+        resps = [json.loads(line) for line in f if line.strip()]
+
+    n = len(reqs)
+    if n == 0:
+        fail("no requests generated")
+    if len(resps) != 2 * n:
+        fail(f"expected {2 * n} responses for two passes, got {len(resps)}")
+
+    for i, r in enumerate(resps):
+        if r.get("schema") != "smem-api/1":
+            fail(f"response {i}: bad schema {r.get('schema')!r}")
+        if not r.get("ok"):
+            fail(f"response {i}: not ok: {json.dumps(r.get('payload'))}")
+
+    cold, warm = resps[:n], resps[n:]
+
+    def cells(r):
+        return [
+            (v["subject"], v["authority"], v["status"])
+            for v in r["payload"]["verdicts"]
+        ]
+
+    computed_warm = sum(r["computed"] for r in warm)
+    if computed_warm != 0:
+        fail(f"warm pass computed {computed_warm} cells; expected all cache hits")
+    for i, (c, w) in enumerate(zip(cold, warm)):
+        if w["cached"] != len(cells(w)):
+            fail(f"warm response {i}: only {w['cached']} of "
+                 f"{len(cells(w))} cells marked cached")
+        if cells(c) != cells(w):
+            fail(f"response {i}: warm verdicts differ from cold verdicts")
+
+    # The cold pass must reproduce the golden conformance suite.
+    got = [
+        f"{s:<18} {a:<12} {st}"
+        for r in cold
+        for (s, a, st) in cells(r)
+    ]
+    with open(golden_path) as f:
+        want = [line.rstrip("\n") for line in f if line.strip()]
+    if got != want:
+        for i, (g, w) in enumerate(zip(got, want)):
+            if g != w:
+                fail(f"golden mismatch at line {i + 1}: got {g!r}, want {w!r}")
+        fail(f"golden length mismatch: got {len(got)} lines, want {len(want)}")
+
+    hits = sum(r["cached"] for r in warm)
+    print(f"serve-smoke: ok — {n} requests/pass, {hits} warm cells all cached, "
+          f"verdicts match golden")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,221 @@
+(* Tests for the typed API layer: verdict semantics and the smem-api/1
+   wire codec (round-trip printer/parser for requests, responses, and
+   verdicts). *)
+
+module Verdict = Smem_api.Verdict
+module Request = Smem_api.Request
+module Response = Smem_api.Response
+module Wire = Smem_api.Wire
+module Json = Smem_obs.Json
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---------------- verdict semantics ---------------- *)
+
+let verdict_status_bool () =
+  check Alcotest.bool "allowed" true Verdict.(bool_of_status Allowed);
+  check Alcotest.bool "forbidden" false Verdict.(bool_of_status Forbidden);
+  check Alcotest.bool "roundtrip true" true
+    Verdict.(bool_of_status (status_of_bool true));
+  check Alcotest.bool "roundtrip false" false
+    Verdict.(bool_of_status (status_of_bool false))
+
+let verdict_agrees () =
+  let v ?expected status =
+    Verdict.v ?expected ~subject:"t" ~authority:"sc" status
+  in
+  check Alcotest.bool "no expectation" true (Verdict.agrees (v (Some Allowed)));
+  check Alcotest.bool "match" true
+    (Verdict.agrees (v ~expected:Allowed (Some Allowed)));
+  check Alcotest.bool "mismatch" false
+    (Verdict.agrees (v ~expected:Forbidden (Some Allowed)));
+  check Alcotest.bool "undecided vs expectation" false
+    (Verdict.agrees (v ~expected:Allowed None));
+  check Alcotest.bool "undecided, no expectation" true (Verdict.agrees (v None))
+
+let verdict_json_roundtrip () =
+  let vs =
+    [
+      Verdict.v ~subject:"fig1" ~authority:"sc" (Some Verdict.Forbidden);
+      Verdict.v ~question:"reachability" ~subject:"mp"
+        ~authority:"machine:write-buffer" ~cached:true ~states:42
+        ~notes:[ "a"; "b" ] ~expected:Verdict.Allowed (Some Verdict.Allowed);
+      Verdict.v ~question:"mutual-exclusion" ~subject:"bakery"
+        ~authority:"machine:cache" None;
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Verdict.of_json (Verdict.to_json v) with
+      | Error e -> Alcotest.failf "verdict did not parse back: %s" e
+      | Ok v' ->
+          check Alcotest.bool "verdict roundtrip" true (v = v'))
+    vs
+
+(* ---------------- request round-trips ---------------- *)
+
+let all_requests =
+  let scope =
+    { Request.procs = [ 2; 2 ]; nlocs = 2; max_value = 1; labeled = false }
+  in
+  let lscope =
+    { Request.procs = [ 3 ]; nlocs = 1; max_value = 2; labeled = true }
+  in
+  [
+    Request.Check { test = Named "fig1"; models = [ "sc"; "pc-g" ] };
+    Request.Check { test = Inline "test \"t\"\n"; models = [] };
+    Request.Corpus { models = [ "cache" ] };
+    Request.Corpus { models = [] };
+    Request.Classify { models = []; scopes = [] };
+    Request.Classify { models = [ "sc"; "pram" ]; scopes = [ scope; lscope ] };
+    Request.Distinguish { a = "sc"; b = "pc-g"; scopes = [ scope ] };
+    Request.Distinguish { a = "causal"; b = "pram"; scopes = [] };
+    Request.Certify { test = Named "fig2"; model = "sc"; format = `Sexp };
+    Request.Certify { test = Inline "x"; model = "pc-d"; format = `Json };
+  ]
+
+let request_roundtrip () =
+  List.iteri
+    (fun i r ->
+      (* with an explicit id *)
+      (match Wire.parse_request_line (Wire.request_line ~id:(i + 1) r) with
+      | Error e -> Alcotest.failf "request %d did not parse back: %s" i e
+      | Ok (id, r') ->
+          check (Alcotest.option Alcotest.int) "id echoed" (Some (i + 1)) id;
+          check Alcotest.bool "request roundtrip" true (r = r'));
+      (* and without *)
+      match Wire.parse_request_line (Wire.request_line r) with
+      | Error e -> Alcotest.failf "id-less request %d: %s" i e
+      | Ok (id, r') ->
+          check (Alcotest.option Alcotest.int) "no id" None id;
+          check Alcotest.bool "id-less roundtrip" true (r = r'))
+    all_requests
+
+let request_schema_checked () =
+  (* a wrong schema value is rejected... *)
+  (match
+     Wire.parse_request_line
+       {|{"schema":"smem-api/999","kind":"corpus","models":[]}|}
+   with
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+  | Error _ -> ());
+  (* ...but a missing schema field is tolerated *)
+  match Wire.parse_request_line {|{"kind":"corpus","models":[]}|} with
+  | Ok (None, Request.Corpus { models = [] }) -> ()
+  | Ok _ -> Alcotest.fail "schema-less request parsed to the wrong value"
+  | Error e -> Alcotest.failf "schema-less request rejected: %s" e
+
+let request_garbage_rejected () =
+  List.iter
+    (fun line ->
+      match Wire.parse_request_line line with
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" line
+      | Error _ -> ())
+    [
+      "";
+      "not json";
+      {|{"schema":"smem-api/1"}|};
+      {|{"schema":"smem-api/1","kind":"launder"}|};
+      {|{"schema":"smem-api/1","kind":"check"}|};
+      {|[1,2,3]|};
+    ]
+
+(* ---------------- response round-trips ---------------- *)
+
+let all_responses =
+  let verdicts =
+    [
+      Verdict.v ~subject:"fig1" ~authority:"sc" ~expected:Verdict.Forbidden
+        (Some Verdict.Forbidden);
+      Verdict.v ~subject:"fig1" ~authority:"pc-g" ~cached:true
+        (Some Verdict.Allowed);
+    ]
+  in
+  let base kind payload =
+    {
+      Response.id = Some 7;
+      kind;
+      cached = 1;
+      computed = 1;
+      elapsed_ns = 12345;
+      payload;
+    }
+  in
+  [
+    base "check" (Response.Verdicts verdicts);
+    base "classify"
+      (Response.Classification
+         {
+           total = 81;
+           allowed = [ ("sc", 10); ("pram", 30) ];
+           relations = [ ("sc", "pram", "stronger"); ("pram", "sc", "weaker") ];
+           hasse = [ ("sc", "pram") ];
+         });
+    base "distinguish"
+      (Response.Distinction
+         {
+           relation = "a-stronger";
+           witnesses = [ ("allowed-by-b-only", "test \"w\"\np0: w(x)1\n") ];
+         });
+    base "certify" (Response.Certificate { format = "sexp"; body = "(cert)" });
+    Response.error ~id:3 ~code:Response.Unknown_model "no such model: zz";
+    Response.error ~code:Response.Bad_request "parse error";
+  ]
+
+let response_roundtrip () =
+  List.iteri
+    (fun i r ->
+      match Wire.parse_response_line (Wire.response_line r) with
+      | Error e -> Alcotest.failf "response %d did not parse back: %s" i e
+      | Ok r' -> check Alcotest.bool "response roundtrip" true (r = r'))
+    all_responses
+
+let response_ok () =
+  check Alcotest.bool "verdicts ok" true
+    (Response.ok (List.nth all_responses 0));
+  check Alcotest.bool "error not ok" false
+    (Response.ok (Response.error ~code:Response.Rejected "kernel said no"))
+
+let error_code_strings () =
+  List.iter
+    (fun c ->
+      match Response.(error_code_of_string (error_code_to_string c)) with
+      | Some c' -> check Alcotest.bool "code roundtrip" true (c = c')
+      | None -> Alcotest.failf "code %s did not parse back"
+                  (Response.error_code_to_string c))
+    Response.
+      [ Bad_request; Unknown_model; Unknown_test; Uncertifiable; Rejected ];
+  check Alcotest.bool "unknown code" true
+    (Response.error_code_of_string "flaky" = None)
+
+let response_lines_are_single_lines () =
+  List.iter
+    (fun r ->
+      let line = Wire.response_line r in
+      check Alcotest.bool "newline-terminated" true
+        (String.length line > 0 && line.[String.length line - 1] = '\n');
+      check Alcotest.bool "no interior newline" false
+        (String.contains (String.sub line 0 (String.length line - 1)) '\n'))
+    all_responses
+
+let () =
+  Alcotest.run "api"
+    [
+      ( "verdict",
+        [
+          tc "status/bool" verdict_status_bool;
+          tc "agrees" verdict_agrees;
+          tc "json roundtrip" verdict_json_roundtrip;
+        ] );
+      ( "wire",
+        [
+          tc "request roundtrip" request_roundtrip;
+          tc "schema checked" request_schema_checked;
+          tc "garbage rejected" request_garbage_rejected;
+          tc "response roundtrip" response_roundtrip;
+          tc "response ok" response_ok;
+          tc "error codes" error_code_strings;
+          tc "ndjson framing" response_lines_are_single_lines;
+        ] );
+    ]

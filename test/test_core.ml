@@ -11,6 +11,7 @@ module View = Smem_core.View
 module Engine = Smem_core.Engine
 module Rel = Smem_relation.Rel
 module Bitset = Smem_relation.Bitset
+module Helpers = Smem_testlib.Helpers
 
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
@@ -462,6 +463,105 @@ let engine_size_mismatch_rejected () =
                      ]
                  <> None))))
 
+(* ---------------- canonicalization ---------------- *)
+
+module Canon = Smem_core.Canon
+
+(* Rebuild [h] event by event, optionally permuting processors,
+   renaming locations, and remapping nonzero values per location —
+   exactly the symmetries [Canon] claims to quotient by. *)
+let rebuild ?(perm = Fun.id) ?(rename_loc = Fun.id) ?(rename_val = fun _ v -> v)
+    h =
+  let rows =
+    List.init (H.nprocs h) (fun p ->
+        H.proc_ops h (perm p) |> Array.to_list
+        |> List.map (fun id ->
+               let op = H.op h id in
+               let loc = rename_loc (H.loc_name h op.Op.loc) in
+               let v =
+                 if op.Op.value = 0 then 0 else rename_val op.Op.loc op.Op.value
+               in
+               let labeled = Op.is_labeled op in
+               match (op.Op.kind, H.interval h id) with
+               | Op.Read, None -> H.read ~labeled loc v
+               | Op.Read, Some at -> H.read ~labeled ~at loc v
+               | Op.Write, None -> H.write ~labeled loc v
+               | Op.Write, Some at -> H.write ~labeled ~at loc v))
+  in
+  H.make rows
+
+let arb_mixed =
+  Helpers.arb_history ~labeled_allowed:`Mixed ~max_procs:4 ~nlocs:3 ()
+
+let canon_idempotent =
+  QCheck.Test.make ~name:"canonicalize is idempotent" ~count:300 arb_mixed
+    (fun h ->
+      let c = Canon.canonicalize h in
+      Canon.encode c = Canon.encode h
+      && Canon.encode (Canon.canonicalize c) = Canon.encode c)
+
+let canon_row_permutation_invariant =
+  QCheck.Test.make ~name:"digest invariant under processor permutation"
+    ~count:300 arb_mixed (fun h ->
+      let n = H.nprocs h in
+      let reversed = rebuild ~perm:(fun p -> n - 1 - p) h in
+      let rotated = rebuild ~perm:(fun p -> (p + 1) mod n) h in
+      Canon.digest reversed = Canon.digest h
+      && Canon.digest rotated = Canon.digest h)
+
+let canon_renaming_invariant =
+  QCheck.Test.make
+    ~name:"digest invariant under location/value renaming" ~count:300
+    arb_mixed (fun h ->
+      let renamed =
+        rebuild
+          ~rename_loc:(fun s -> "loc_" ^ s)
+          ~rename_val:(fun loc v -> v + (2 * loc) + 3)
+          h
+      in
+      Canon.digest renamed = Canon.digest h)
+
+let canon_timing_preserved =
+  QCheck.Test.make ~name:"canonicalize preserves timing intervals" ~count:300
+    (Helpers.arb_timed_history ()) (fun h ->
+      let intervals h =
+        List.init (H.nops h) (H.interval h) |> List.sort compare
+      in
+      let c = Canon.canonicalize h in
+      H.nops c = H.nops h && intervals c = intervals h)
+
+let canon_distinguishes () =
+  (* Equivalence must not over-collapse: changing an outcome value in a
+     way no renaming can undo yields a different digest. *)
+  let a = fig1 () in
+  let b =
+    H.make [ [ H.write "x" 1; H.read "y" 1 ]; [ H.write "y" 1; H.read "x" 0 ] ]
+  in
+  check Alcotest.bool "fig1 vs variant" false (Canon.equivalent a b);
+  check Alcotest.bool "digest differs" true (Canon.digest a <> Canon.digest b)
+
+let canon_collapses_known_orbit () =
+  (* The store-buffering shape written two ways — swapped processors,
+     different location names, scaled values — is one cache key. *)
+  let a = fig1 () in
+  let b =
+    H.make [ [ H.write "b" 7; H.read "a" 0 ]; [ H.write "a" 7; H.read "b" 0 ] ]
+  in
+  check Alcotest.bool "same orbit, same digest" true (Canon.equivalent a b);
+  check Alcotest.bool "exact below limit" true (Canon.is_exact a)
+
+let canon_large_heuristic () =
+  (* Above [exact_limit] the heuristic must still be idempotent and
+     invariant under renamings (the sort key is renaming-invariant). *)
+  let row i = [ H.write "x" (i + 1); H.read "y" 0 ] in
+  let h = H.make (List.init (Canon.exact_limit + 2) row) in
+  check Alcotest.bool "not exact" false (Canon.is_exact h);
+  check Alcotest.string "idempotent" (Canon.encode h)
+    (Canon.encode (Canon.canonicalize h));
+  let renamed = rebuild ~rename_loc:(fun s -> s ^ "'") h in
+  check Alcotest.string "renaming-invariant" (Canon.digest h)
+    (Canon.digest renamed)
+
 let () =
   Alcotest.run "core"
     [
@@ -519,4 +619,15 @@ let () =
           tc "oversized history rejected" oversized_history_rejected;
           tc "engine size mismatch rejected" engine_size_mismatch_rejected;
         ] );
+      ( "canon",
+        tc "distinguishes non-equivalent" canon_distinguishes
+        :: tc "collapses a known orbit" canon_collapses_known_orbit
+        :: tc "heuristic above exact limit" canon_large_heuristic
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               canon_idempotent;
+               canon_row_permutation_invariant;
+               canon_renaming_invariant;
+               canon_timing_preserved;
+             ] );
     ]

@@ -1,0 +1,331 @@
+(* Tests for the serving subsystem: the bounded verdict cache, the
+   request-executing service (cached verdicts must equal fresh ones),
+   and the NDJSON server loop. *)
+
+module H = Smem_core.History
+module Model = Smem_core.Model
+module Canon = Smem_core.Canon
+module Cache = Smem_cache.Cache
+module Request = Smem_api.Request
+module Response = Smem_api.Response
+module Verdict = Smem_api.Verdict
+module Wire = Smem_api.Wire
+module Service = Smem_serve.Service
+module Server = Smem_serve.Server
+module Registry = Smem_core.Registry
+module Corpus = Smem_litmus.Corpus
+module Helpers = Smem_testlib.Helpers
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---------------- cache ---------------- *)
+
+let cache_basics () =
+  let c = Cache.create ~capacity:16 () in
+  check (Alcotest.option Alcotest.bool) "miss" None
+    (Cache.find c ~digest:"d1" ~model:"sc");
+  Cache.add c ~digest:"d1" ~model:"sc" true;
+  Cache.add c ~digest:"d1" ~model:"pram" false;
+  check (Alcotest.option Alcotest.bool) "hit true" (Some true)
+    (Cache.find c ~digest:"d1" ~model:"sc");
+  check (Alcotest.option Alcotest.bool) "hit false" (Some false)
+    (Cache.find c ~digest:"d1" ~model:"pram");
+  check (Alcotest.option Alcotest.bool) "other digest" None
+    (Cache.find c ~digest:"d2" ~model:"sc");
+  let s = Cache.stats c in
+  check Alcotest.int "entries" 2 s.Cache.entries;
+  check Alcotest.int "hits" 2 s.Cache.hits;
+  check Alcotest.int "misses" 2 s.Cache.misses
+
+let cache_bounded () =
+  (* One shard makes eviction order deterministic: strict FIFO. *)
+  let c = Cache.create ~shards:1 ~capacity:4 () in
+  for i = 1 to 8 do
+    Cache.add c ~digest:(string_of_int i) ~model:"sc" true
+  done;
+  let s = Cache.stats c in
+  check Alcotest.int "bounded" 4 s.Cache.entries;
+  check Alcotest.int "evictions" 4 s.Cache.evictions;
+  (* the oldest four are gone, the newest four resident *)
+  for i = 1 to 4 do
+    check (Alcotest.option Alcotest.bool)
+      (Printf.sprintf "%d evicted" i)
+      None
+      (Cache.find c ~digest:(string_of_int i) ~model:"sc")
+  done;
+  for i = 5 to 8 do
+    check (Alcotest.option Alcotest.bool)
+      (Printf.sprintf "%d resident" i)
+      (Some true)
+      (Cache.find c ~digest:(string_of_int i) ~model:"sc")
+  done
+
+let cache_find_or_add () =
+  let c = Cache.create ~capacity:8 () in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    true
+  in
+  let v1, cached1 = Cache.find_or_add c ~digest:"d" ~model:"sc" compute in
+  let v2, cached2 = Cache.find_or_add c ~digest:"d" ~model:"sc" compute in
+  check Alcotest.bool "first verdict" true v1;
+  check Alcotest.bool "first fresh" false cached1;
+  check Alcotest.bool "second verdict" true v2;
+  check Alcotest.bool "second cached" true cached2;
+  check Alcotest.int "computed once" 1 !calls
+
+let cache_clear () =
+  let c = Cache.create ~capacity:8 () in
+  Cache.add c ~digest:"d" ~model:"sc" true;
+  Cache.clear c;
+  check Alcotest.int "empty" 0 (Cache.stats c).Cache.entries;
+  check (Alcotest.option Alcotest.bool) "gone" None
+    (Cache.find c ~digest:"d" ~model:"sc")
+
+let cache_rejects_bad_args () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Cache.create: capacity must be positive") (fun () ->
+      ignore (Cache.create ~capacity:0 ()))
+
+(* ---------------- service: cached = fresh ---------------- *)
+
+let cached_equals_fresh =
+  QCheck.Test.make ~name:"cached verdict equals fresh verdict" ~count:150
+    (Helpers.arb_history ~labeled_allowed:`Mixed ())
+    (fun h ->
+      let service =
+        Service.create ~cache:(Cache.create ~capacity:1024 ()) ()
+      in
+      List.for_all
+        (fun m ->
+          let fresh = Model.check m h in
+          let v1, c1 = Service.check_model service m h in
+          let v2, c2 = Service.check_model service m h in
+          v1 = fresh && v2 = fresh && (not c1) && c2)
+        (List.filter_map Registry.find [ "sc"; "causal"; "pram"; "coh" ]))
+
+let service_renaming_hits =
+  QCheck.Test.make ~name:"renamed resubmission is a cache hit" ~count:100
+    (Helpers.arb_history ())
+    (fun h ->
+      let service =
+        Service.create ~cache:(Cache.create ~capacity:1024 ()) ()
+      in
+      let renamed =
+        let rows =
+          List.init (H.nprocs h) (fun p ->
+              H.proc_ops h (H.nprocs h - 1 - p)
+              |> Array.to_list
+              |> List.map (fun id ->
+                     let op = H.op h id in
+                     let loc = "q" ^ H.loc_name h op.Smem_core.Op.loc in
+                     let v = op.Smem_core.Op.value in
+                     if Smem_core.Op.is_write op then H.write loc v
+                     else H.read loc v))
+        in
+        H.make rows
+      in
+      let sc = Option.get (Registry.find "sc") in
+      let v1, _ = Service.check_model service sc h in
+      let v2, cached = Service.check_model service sc renamed in
+      v1 = v2 && cached)
+
+(* ---------------- service: corpus twice ---------------- *)
+
+let corpus_twice () =
+  let service =
+    Service.create ~cache:(Cache.create ~capacity:65536 ()) ()
+  in
+  let req = Request.Corpus { models = [] } in
+  let first = Service.handle service req in
+  let second = Service.handle service req in
+  let verdicts r =
+    match r.Response.payload with
+    | Response.Verdicts vs -> vs
+    | _ -> Alcotest.fail "corpus did not answer with verdicts"
+  in
+  let v1 = verdicts first and v2 = verdicts second in
+  let cells = List.length Corpus.all * List.length (Registry.all) in
+  check Alcotest.int "all cells" cells (List.length v1);
+  check Alcotest.int "first pass computed" cells first.Response.computed;
+  check Alcotest.int "second pass cached" cells second.Response.cached;
+  check Alcotest.int "second pass computed" 0 second.Response.computed;
+  check Alcotest.bool "every second-pass verdict marked cached" true
+    (List.for_all (fun v -> v.Verdict.cached) v2);
+  (* statuses agree pairwise, and with a fresh uncached check *)
+  List.iter2
+    (fun a b ->
+      check Alcotest.string "subject" a.Verdict.subject b.Verdict.subject;
+      check Alcotest.string "authority" a.Verdict.authority b.Verdict.authority;
+      check Alcotest.bool "status equal" true
+        (a.Verdict.status = b.Verdict.status))
+    v1 v2;
+  let fresh = Service.create () in
+  List.iter
+    (fun v ->
+      let test = Corpus.find v.Verdict.subject |> Option.get in
+      let model = Registry.find v.Verdict.authority |> Option.get in
+      let expect, _ =
+        Service.check_model fresh model test.Smem_litmus.Test.history
+      in
+      check Alcotest.bool
+        (v.Verdict.subject ^ "/" ^ v.Verdict.authority ^ " matches fresh")
+        true
+        (v.Verdict.status = Some (Verdict.status_of_bool expect)))
+    v2
+
+(* ---------------- service: structured errors ---------------- *)
+
+let service_errors () =
+  let s = Service.create () in
+  let code r =
+    match r.Response.payload with
+    | Response.Error { code; _ } -> Some code
+    | _ -> None
+  in
+  let got req = code (Service.handle s req) in
+  check Alcotest.bool "unknown model" true
+    (got (Request.Check { test = Named "fig1"; models = [ "zz" ] })
+    = Some Response.Unknown_model);
+  check Alcotest.bool "unknown test" true
+    (got (Request.Check { test = Named "no-such-test"; models = [] })
+    = Some Response.Unknown_test);
+  check Alcotest.bool "bad litmus" true
+    (got (Request.Check { test = Inline "]["; models = [] })
+    = Some Response.Bad_request);
+  check Alcotest.bool "id echoed" true
+    ((Service.handle ~id:9 s (Request.Corpus { models = [ "sc" ] })).Response.id
+    = Some 9)
+
+(* ---------------- server loop ---------------- *)
+
+(* Drive the NDJSON loop through temp files (the loop takes plain
+   channels, so no process machinery is needed). *)
+let run_server ?batch lines =
+  let in_path = Filename.temp_file "smem_serve_in" ".ndjson" in
+  let out_path = Filename.temp_file "smem_serve_out" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove in_path;
+      Sys.remove out_path)
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter (output_string oc) lines;
+      close_out oc;
+      let ic = open_in in_path and oc = open_out out_path in
+      Server.run ?batch ~jobs:2 ~cache:(Cache.create ~capacity:4096 ()) ic oc;
+      close_in ic;
+      close_out oc;
+      let ic = open_in out_path in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read []))
+
+let server_answers_in_order () =
+  let reqs =
+    [
+      Wire.request_line ~id:10
+        (Request.Check { test = Named "fig1"; models = [ "sc" ] });
+      Wire.request_line (Request.Check { test = Named "fig2"; models = [ "sc" ] });
+      Wire.request_line ~id:30
+        (Request.Check { test = Named "mp"; models = [ "causal" ] });
+    ]
+  in
+  let out = run_server ~batch:2 reqs in
+  check Alcotest.int "one response per request" 3 (List.length out);
+  let parsed =
+    List.map
+      (fun l ->
+        match Wire.parse_response_line l with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "unparseable response %S: %s" l e)
+      out
+  in
+  check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "ids echoed, arrival number otherwise" [ Some 10; Some 2; Some 30 ]
+    (List.map (fun r -> r.Response.id) parsed);
+  List.iter
+    (fun r -> check Alcotest.bool "ok" true (Response.ok r))
+    parsed
+
+let server_bad_line_in_position () =
+  let reqs =
+    [
+      Wire.request_line (Request.Check { test = Named "fig1"; models = [ "sc" ] });
+      "this is not json\n";
+      Wire.request_line (Request.Check { test = Named "fig2"; models = [ "sc" ] });
+    ]
+  in
+  let out = run_server reqs in
+  check Alcotest.int "three responses" 3 (List.length out);
+  let parsed =
+    List.map (fun l -> Wire.parse_response_line l |> Result.get_ok) out
+  in
+  let statuses = List.map Response.ok parsed in
+  check (Alcotest.list Alcotest.bool) "error in position" [ true; false; true ]
+    statuses;
+  match (List.nth parsed 1).Response.payload with
+  | Response.Error { code = Response.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "middle response is not a bad-request error"
+
+let server_second_pass_all_cached () =
+  (* The serve-smoke CI property, in-process: the same corpus sent
+     twice over one connection answers the second pass entirely from
+     cache, with identical statuses. *)
+  let reqs =
+    List.map
+      (fun t ->
+        Wire.request_line
+          (Request.Check { test = Named t.Smem_litmus.Test.name; models = [] }))
+      Corpus.all
+  in
+  let out = run_server (reqs @ reqs) in
+  let parsed =
+    List.map (fun l -> Wire.parse_response_line l |> Result.get_ok) out
+  in
+  let n = List.length Corpus.all in
+  check Alcotest.int "responses" (2 * n) (List.length parsed);
+  let firsts = List.filteri (fun i _ -> i < n) parsed in
+  let seconds = List.filteri (fun i _ -> i >= n) parsed in
+  List.iter2
+    (fun a b ->
+      check Alcotest.int "warm pass fully cached" 0 b.Response.computed;
+      match (a.Response.payload, b.Response.payload) with
+      | Response.Verdicts va, Response.Verdicts vb ->
+          List.iter2
+            (fun x y ->
+              check Alcotest.bool "status stable" true
+                (x.Verdict.status = y.Verdict.status))
+            va vb
+      | _ -> Alcotest.fail "corpus check did not answer verdicts")
+    firsts seconds
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          tc "basics" cache_basics;
+          tc "bounded + fifo eviction" cache_bounded;
+          tc "find_or_add" cache_find_or_add;
+          tc "clear" cache_clear;
+          tc "bad args" cache_rejects_bad_args;
+        ] );
+      ( "service",
+        tc "corpus twice: warm pass cached, verdicts stable" corpus_twice
+        :: tc "structured errors" service_errors
+        :: List.map QCheck_alcotest.to_alcotest
+             [ cached_equals_fresh; service_renaming_hits ] );
+      ( "server",
+        [
+          tc "in-order responses, id echo" server_answers_in_order;
+          tc "bad line answered in position" server_bad_line_in_position;
+          tc "second pass all cached" server_second_pass_all_cached;
+        ] );
+    ]
