@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load fmt fmt-check ci clean
 
 all: build
 
@@ -48,6 +48,13 @@ serve-smoke: build
 	    > _build/responses.ndjson 2> _build/serve-metrics.txt
 	python3 scripts/serve_smoke.py _build/reqs.ndjson \
 	  _build/responses.ndjson test/golden/verdicts.expected
+
+# Load-test the TCP daemon: concurrent clients replaying corpus
+# traffic, then a kill-and-restart pass answered from the persistent
+# verdict store.  Records p50/p99/throughput under "serve" in
+# BENCH_smem.json; fails below the throughput floor or on a warm miss.
+serve-load: build
+	python3 scripts/serve_load.py --exe _build/default/bin/smem.exe
 
 # Formatting needs ocamlformat (version pinned in .ocamlformat).
 fmt:

@@ -1072,34 +1072,148 @@ let cert_cmd =
     [ verify ]
 
 let serve_cmd =
+  let module Daemon = Smem_serve.Daemon in
   let batch =
     Arg.(
       value & opt int 16
       & info [ "batch" ] ~docv:"N"
           ~doc:
-            "Read up to $(docv) request lines before answering, fanning the \
-             batch across worker domains.  The reader blocks until the \
-             batch fills or input ends, so strict request/response clients \
-             must use $(b,--batch 1); pipelining clients and closed pipes \
+            "Answer up to $(docv) request lines per batch, fanning the \
+             batch across worker domains.  The reader never waits for a \
+             batch to fill: it blocks for the first line only and drains \
+             what is already pending, so request/response clients get \
+             partial batches answered immediately and pipelining clients \
              get cross-request parallelism.")
   in
-  let run batch jobs cache obs =
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"[HOST:]PORT"
+          ~doc:
+            "Listen for clients on a TCP socket (default host 127.0.0.1; \
+             port 0 picks a free port, reported on stderr).  Repeatable \
+             with $(b,--socket); with neither, the daemon speaks NDJSON \
+             over stdin/stdout to a single client.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen for clients on a Unix-domain socket at $(docv) (an \
+             existing file there is replaced; the socket is removed on \
+             shutdown).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Persist every computed verdict to an append-only log at \
+             $(docv) (format smem-store/1) and replay it into the cache at \
+             startup, so a restarted daemon answers known histories \
+             without recomputing.  Requires a cache ($(b,--cache) > 0).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bound the shared work queue at $(docv) pending requests \
+             (daemon mode).  A full queue blocks the submitting \
+             connection — backpressure reaches the client through TCP \
+             instead of growing the heap.")
+  in
+  let parse_tcp spec =
+    match String.rindex_opt spec ':' with
+    | None -> (
+        match int_of_string_opt spec with
+        | Some port -> Ok (Daemon.Tcp ("127.0.0.1", port))
+        | None -> Error (Printf.sprintf "--tcp: not a port number: %S" spec))
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some port -> Ok (Daemon.Tcp (host, port))
+        | None -> Error (Printf.sprintf "--tcp: not a port number: %S" port))
+  in
+  let run batch jobs cache store queue tcp socket obs =
     setup_obs ~ppf:Format.err_formatter obs;
+    let jobs = resolve_jobs jobs in
     let cache =
       if cache > 0 then Some (Smem_cache.Cache.create ~capacity:cache ())
       else None
     in
-    Smem_serve.Server.run ~batch ~jobs:(resolve_jobs jobs) ?cache stdin stdout
+    (if store <> None && cache = None then begin
+       Format.eprintf "error: --store requires a cache (--cache > 0)@.";
+       exit 2
+     end);
+    let endpoints =
+      (match tcp with
+      | None -> []
+      | Some spec -> (
+          match parse_tcp spec with
+          | Ok e -> [ e ]
+          | Error msg ->
+              Format.eprintf "error: %s@." msg;
+              exit 2))
+      @ match socket with None -> [] | Some path -> [ Daemon.Unix_socket path ]
+    in
+    match endpoints with
+    | [] ->
+        (* stdio mode: one client over stdin/stdout, machine-clean stdout *)
+        Smem_serve.Server.run ~batch ~jobs ?cache ?store stdin stdout
+    | endpoints ->
+        (* Block SIGINT/SIGTERM before spawning anything: every thread
+           and domain inherits the mask, so the signal is only ever
+           consumed by the [Thread.wait_signal] below — a handler would
+           not run while the main thread is blocked joining threads. *)
+        let (_ : int list) =
+          Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ]
+        in
+        let d =
+          try Daemon.create ~batch ~jobs ~queue ?cache ?store ~endpoints ()
+          with Unix.Unix_error (err, fn, arg) ->
+            Format.eprintf "error: cannot listen: %s (%s %s)@."
+              (Unix.error_message err) fn arg;
+            exit 2
+        in
+        (match Daemon.store d with
+        | Some s ->
+            Format.eprintf "smem serve: store %s (%d verdict(s) replayed)@."
+              (Smem_serve.Store.path s)
+              (Smem_serve.Store.replayed s)
+        | None -> ());
+        List.iter
+          (fun ep ->
+            Format.eprintf "smem serve: listening on %a@." Daemon.pp_endpoint
+              ep)
+          (Daemon.addresses d);
+        Daemon.start d;
+        let signal = Thread.wait_signal [ Sys.sigint; Sys.sigterm ] in
+        Format.eprintf "smem serve: %s, draining@."
+          (if signal = Sys.sigint then "SIGINT" else "SIGTERM");
+        Daemon.stop d;
+        Daemon.wait d;
+        Format.eprintf "smem serve: drained, bye@."
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Persistent daemon: read newline-delimited smem-api/1 JSON requests \
-          on stdin, answer with structured verdicts, certificates, \
-          classifications and distinctions on stdout (see docs/API.md).  \
-          Membership verdicts are served from the canonicalizing cache when \
-          already known.")
-    Term.(const run $ batch $ jobs_arg $ cache_arg $ obs_term)
+         "Serving daemon: newline-delimited smem-api/1 JSON requests in, \
+          structured verdicts, certificates, classifications and \
+          distinctions out (see docs/API.md).  With $(b,--tcp) and/or \
+          $(b,--socket) it accepts any number of concurrent clients, \
+          answering each in order over shared worker domains; without \
+          either it serves one client over stdin/stdout.  Membership \
+          verdicts are served from the canonicalizing cache when already \
+          known, and survive restarts when $(b,--store) is given.")
+    Term.(
+      const run $ batch $ jobs_arg $ cache_arg $ store $ queue $ tcp $ socket
+      $ obs_term)
 
 let api_cmd =
   let models_opt =

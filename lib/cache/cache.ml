@@ -19,6 +19,10 @@ type t = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
+  (* Persistence hook: called after every store with the key and
+     verdict, outside the shard lock.  One writer (the on-disk verdict
+     store) is plenty; [None] costs nothing on the hot path. *)
+  mutable on_store : (digest:string -> model:string -> bool -> unit) option;
 }
 
 type stats = {
@@ -52,16 +56,22 @@ let create ?(shards = 8) ~capacity () =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     evictions = Atomic.make 0;
+    on_store = None;
   }
 
-let shard_of t digest = t.shards.(Hashtbl.hash digest land t.mask)
+(* Entries are keyed [(digest, model)], so the shard must hash the full
+   key: hashing the digest alone piles every model's verdict for a hot
+   history into one shard and serializes them on its mutex. *)
+let shard_index t ~digest ~model = Hashtbl.hash (digest, model) land t.mask
+let shard_of t ~digest ~model = t.shards.(shard_index t ~digest ~model)
+let on_store t f = t.on_store <- Some f
 
 let locked s f =
   Mutex.lock s.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let find t ~digest ~model =
-  let s = shard_of t digest in
+  let s = shard_of t ~digest ~model in
   let r = locked s (fun () -> Hashtbl.find_opt s.table (digest, model)) in
   (match r with
   | Some _ ->
@@ -72,8 +82,8 @@ let find t ~digest ~model =
       Metrics.incr m_misses);
   r
 
-let add t ~digest ~model verdict =
-  let s = shard_of t digest in
+let add ?(notify = true) t ~digest ~model verdict =
+  let s = shard_of t ~digest ~model in
   let evicted =
     locked s (fun () ->
         let key = (digest, model) in
@@ -94,7 +104,10 @@ let add t ~digest ~model verdict =
   if evicted > 0 then begin
     Atomic.fetch_and_add t.evictions evicted |> ignore;
     Metrics.add m_evictions evicted
-  end
+  end;
+  match t.on_store with
+  | Some f when notify -> f ~digest ~model verdict
+  | _ -> ()
 
 let find_or_add t ~digest ~model compute =
   match find t ~digest ~model with

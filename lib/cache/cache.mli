@@ -8,6 +8,9 @@
     The table is split into shards, each guarded by its own mutex
     (OCaml 5 [Stdlib.Mutex] is domain-safe), so domains of a
     {!Smem_parallel.Pool} contend only when they touch the same shard.
+    Sharding hashes the {e full} [(digest, model)] key — the ~14
+    verdicts of one hot history spread across shards instead of
+    serializing on one mutex.
     Each shard is bounded and evicts in insertion (FIFO) order once
     full — verdicts are tiny, so capacity is a count of entries, not
     bytes.
@@ -37,9 +40,23 @@ val create : ?shards:int -> capacity:int -> unit -> t
 val find : t -> digest:string -> model:string -> bool option
 (** Cached verdict, if present.  Counts a hit or a miss. *)
 
-val add : t -> digest:string -> model:string -> bool -> unit
+val add : ?notify:bool -> t -> digest:string -> model:string -> bool -> unit
 (** Insert (last write wins), evicting the oldest entry of the shard if
-    it is full. *)
+    it is full.  The {!on_store} hook fires unless [notify] is [false]
+    (replaying a persistent store back into the cache must not
+    re-append every entry). *)
+
+val on_store : t -> (digest:string -> model:string -> bool -> unit) -> unit
+(** Install the persistence hook: called after every store (fresh or
+    replacement) with the key and verdict, outside the shard lock.  The
+    callback may run concurrently from several domains and must be
+    thread-safe.  Last installation wins; {!Smem_serve.Store} is the
+    intended (sole) subscriber. *)
+
+val shard_index : t -> digest:string -> model:string -> int
+(** Which shard a key lives in — exposed so tests can assert the
+    distribution (one hot digest across many models must not collapse
+    into one shard). *)
 
 val find_or_add :
   t -> digest:string -> model:string -> (unit -> bool) -> bool * bool

@@ -1,0 +1,201 @@
+(* The multi-client daemon: Unix-domain and TCP listeners feeding
+   per-connection {!Server.session} loops.
+
+   Threading model: each listener gets an accept thread, each accepted
+   connection a handler thread.  Connection threads mostly block on
+   I/O (blocking reads release the runtime lock), so they all live on
+   the spawning domain; the compute runs on the shared {!Sched} worker
+   domains.  Parallelism is therefore pooled: N clients share [jobs]
+   workers instead of spawning N pools.
+
+   Drain protocol ([stop]): flag the acceptors, which close their
+   listeners (no new connections) within a poll tick, and
+   [shutdown(SHUTDOWN_RECEIVE)] every open connection — the
+   handler's blocking read returns EOF, it finishes and answers the
+   batch it already read, flushes, and closes.  [wait] returns once
+   the last handler is gone, then tears down the scheduler and closes
+   the verdict store, so every answered verdict is on disk before the
+   process exits. *)
+
+module Metrics = Smem_obs.Metrics
+
+let m_connections = Metrics.counter "serve.connections"
+let m_active = Metrics.gauge "serve.active"
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let pp_endpoint ppf = function
+  | Unix_socket path -> Format.fprintf ppf "unix://%s" path
+  | Tcp (host, port) -> Format.fprintf ppf "tcp://%s:%d" host port
+
+type t = {
+  mutex : Mutex.t;
+  idle : Condition.t;  (* signalled when a handler or acceptor exits *)
+  mutable stopping : bool;
+  mutable acceptors : Thread.t list;
+  mutable handlers : int;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn : int;
+  listeners : (Unix.file_descr * endpoint) list;
+  sched : Sched.t;
+  solo : Service.t;
+  fan : Service.t;
+  store : Store.t option;
+  batch : int;
+}
+
+let bind_endpoint = function
+  | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      (fd, Unix_socket path)
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      (* port 0 means "pick one"; report what the kernel chose *)
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Tcp (host, port))
+
+let create ?(batch = 16) ?jobs ?queue ?cache ?store ~endpoints () =
+  if endpoints = [] then invalid_arg "Daemon.create: no endpoints";
+  let jobs =
+    match jobs with Some j -> j | None -> Smem_parallel.Pool.default_jobs ()
+  in
+  (* A client hanging up mid-reply must be an EPIPE on that connection,
+     not a fatal signal for the whole daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let store =
+    match (store, cache) with
+    | Some path, Some cache -> Some (Store.attach ~path cache)
+    | _ -> None
+  in
+  {
+    mutex = Mutex.create ();
+    idle = Condition.create ();
+    stopping = false;
+    acceptors = [];
+    handlers = 0;
+    conns = Hashtbl.create 16;
+    next_conn = 0;
+    listeners = List.map bind_endpoint endpoints;
+    sched = Sched.create ?queue ~jobs ();
+    solo = Service.create ?cache ~jobs ();
+    fan = Service.create ?cache ~jobs:1 ();
+    store;
+    batch;
+  }
+
+let addresses t = List.map snd t.listeners
+let store t = t.store
+
+let handle t conn_id fd =
+  let finally () =
+    Mutex.lock t.mutex;
+    Hashtbl.remove t.conns conn_id;
+    t.handlers <- t.handlers - 1;
+    Metrics.set m_active t.handlers;
+    Condition.signal t.idle;
+    Mutex.unlock t.mutex;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  Fun.protect ~finally (fun () ->
+      let frames = Frames.of_fd fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (* A torn connection (reset mid-read, gone mid-write) ends the
+         session; it must not kill the daemon. *)
+      try Server.session ~batch:t.batch ~sched:t.sched ~solo:t.solo
+            ~fan:t.fan frames oc;
+          (try flush oc with Sys_error _ -> ())
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* The accept loop polls: a closed listener does not reliably wake a
+   thread blocked in [accept], so the listener is non-blocking and
+   guarded by a short [select] — [stop] is observed within a poll
+   tick, with no wake-up race. *)
+let accept_tick = 0.25
+
+let accept_loop t (lfd, endpoint) =
+  let cleanup () =
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    (match endpoint with
+    | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ());
+    Mutex.lock t.mutex;
+    Condition.signal t.idle;
+    Mutex.unlock t.mutex
+  in
+  let rec loop () =
+    if t.stopping then cleanup ()
+    else
+      match Unix.select [ lfd ] [] [] accept_tick with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept lfd with
+          | cfd, _ ->
+              Unix.clear_nonblock cfd;
+              Metrics.incr m_connections;
+              Mutex.lock t.mutex;
+              if t.stopping then begin
+                Mutex.unlock t.mutex;
+                (try Unix.close cfd with Unix.Unix_error _ -> ());
+                cleanup ()
+              end
+              else begin
+                t.next_conn <- t.next_conn + 1;
+                let id = t.next_conn in
+                Hashtbl.replace t.conns id cfd;
+                t.handlers <- t.handlers + 1;
+                Metrics.set m_active t.handlers;
+                Mutex.unlock t.mutex;
+                ignore (Thread.create (fun () -> handle t id cfd) ());
+                loop ()
+              end
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              loop ()
+          | exception Unix.Unix_error _ -> cleanup ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> cleanup ()
+  in
+  loop ()
+
+let start t =
+  t.acceptors <- List.map (fun l -> Thread.create (accept_loop t) l) t.listeners
+
+let stop t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  let open_conns = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+  Mutex.unlock t.mutex;
+  if not already then
+    (* Each acceptor notices [stopping] within a poll tick and closes
+       its own listener.  Handlers blocked in a read see EOF, answer
+       what they already hold, and exit; in-flight batches complete
+       normally. *)
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      open_conns
+
+let wait t =
+  List.iter Thread.join t.acceptors;
+  Mutex.lock t.mutex;
+  while t.handlers > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  Sched.shutdown t.sched;
+  Option.iter Store.close t.store

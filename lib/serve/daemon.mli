@@ -1,0 +1,54 @@
+(** The multi-client serving daemon.
+
+    Listens on any mix of Unix-domain and TCP sockets; each accepted
+    connection runs its own {!Server.session} (per-client NDJSON
+    framing, in-order replies) on a handler thread, while all
+    connections share one {!Sched} worker pool, one verdict cache and
+    — when configured — one persistent {!Store}.
+
+    Lifecycle: {!create} binds the sockets (a TCP port of [0] is
+    resolved to the kernel's choice, see {!addresses}), {!start}
+    spawns the accept threads, {!stop} begins the drain (close
+    listeners, EOF every open connection's read side; in-flight
+    batches still complete and answer), {!wait} blocks until the last
+    handler has finished, then shuts the scheduler down and closes the
+    store.  [stop] is safe to call from a signal handler.
+
+    Metrics: [serve.connections] (accepted, total) and [serve.active]
+    (current handler count), on top of the per-session counters. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+(** [unix://PATH] or [tcp://HOST:PORT]. *)
+
+type t
+
+val create :
+  ?batch:int ->
+  ?jobs:int ->
+  ?queue:int ->
+  ?cache:Smem_cache.Cache.t ->
+  ?store:string ->
+  endpoints:endpoint list ->
+  unit ->
+  t
+(** Bind every endpoint (an existing file at a Unix-socket path is
+    replaced), build the shared scheduler ([jobs] workers, default
+    {!Smem_parallel.Pool.default_jobs}; [queue] bounds admitted tasks)
+    and services, and — when both [store] and [cache] are given —
+    replay the persistent store into the cache and arm its append
+    hook.  SIGPIPE is ignored process-wide (a vanished client must be
+    a per-connection error).
+    @raise Invalid_argument on an empty endpoint list.
+    @raise Unix.Unix_error if a socket cannot be bound. *)
+
+val addresses : t -> endpoint list
+(** The bound endpoints, with TCP port [0] replaced by the actual
+    port. *)
+
+val store : t -> Store.t option
+
+val start : t -> unit
+val stop : t -> unit
+val wait : t -> unit

@@ -1,0 +1,110 @@
+(* A buffered NDJSON line reader over a raw file descriptor.
+
+   The server's batching bug was baked into [In_channel.input_line]:
+   the channel cannot say whether another line is available without
+   blocking, so a batch reader built on it must either block until the
+   batch fills (head-of-line stall for request/response clients) or
+   give up batching entirely.  Reading the descriptor ourselves fixes
+   that: [next] blocks for one line, [drain] takes whatever further
+   complete lines can be had without blocking — [Unix.select] with a
+   zero timeout decides whether another [read] is safe.
+
+   Lines are split on '\n'; a trailing '\r' is dropped so CRLF clients
+   work.  A final unterminated line is delivered at EOF.  [EINTR] is
+   retried; [ECONNRESET]/[EPIPE] from a vanished peer count as EOF
+   rather than tearing the server down. *)
+
+type t = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  pending : Buffer.t;  (* bytes read but not yet split into lines *)
+  mutable lines : string list;  (* complete lines, oldest first *)
+  mutable eof : bool;
+}
+
+let chunk_size = 65536
+
+let of_fd fd =
+  { fd; chunk = Bytes.create chunk_size; pending = Buffer.create 256;
+    lines = []; eof = false }
+
+let of_in_channel ic = of_fd (Unix.descr_of_in_channel ic)
+
+(* Split every complete line out of [pending] into [lines]. *)
+let split_pending t =
+  let s = Buffer.contents t.pending in
+  match String.rindex_opt s '\n' with
+  | None -> ()
+  | Some last ->
+      Buffer.clear t.pending;
+      Buffer.add_substring t.pending s (last + 1) (String.length s - last - 1);
+      let complete = String.sub s 0 last in
+      let strip_cr l =
+        let n = String.length l in
+        if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+      in
+      t.lines <-
+        t.lines @ List.map strip_cr (String.split_on_char '\n' complete)
+
+let rec read_once t =
+  match Unix.read t.fd t.chunk 0 chunk_size with
+  | 0 -> t.eof <- true
+  | n ->
+      Buffer.add_subbytes t.pending t.chunk 0 n;
+      split_pending t
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once t
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      t.eof <- true
+
+(* Would a [read] return immediately?  True for regular files always
+   (so file-fed tests and closed pipes still batch up to the limit),
+   and for sockets exactly when data or EOF is pending. *)
+let readable_now t =
+  match Unix.select [ t.fd ] [] [] 0. with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let pop t =
+  match t.lines with
+  | l :: rest ->
+      t.lines <- rest;
+      Some l
+  | [] -> None
+
+(* The unterminated tail, delivered once at EOF. *)
+let pop_tail t =
+  if Buffer.length t.pending = 0 then None
+  else begin
+    let l = Buffer.contents t.pending in
+    Buffer.clear t.pending;
+    Some l
+  end
+
+let rec next t =
+  match pop t with
+  | Some _ as l -> l
+  | None ->
+      if t.eof then pop_tail t
+      else begin
+        read_once t;
+        next t
+      end
+
+let drain t ~max:limit =
+  let rec go acc n =
+    if n >= limit then List.rev acc
+    else
+      match pop t with
+      | Some l -> go (l :: acc) (n + 1)
+      | None ->
+          if (not t.eof) && readable_now t then begin
+            read_once t;
+            go acc n
+          end
+          else
+            match if t.eof then pop_tail t else None with
+            | Some l -> go (l :: acc) (n + 1)
+            | None -> List.rev acc
+  in
+  go [] 0

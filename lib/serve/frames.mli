@@ -1,0 +1,33 @@
+(** Buffered NDJSON line framing over a raw file descriptor.
+
+    The server reads request lines through this instead of
+    [In_channel.input_line] because batching needs one question a
+    channel cannot answer: {e is another line available right now,
+    without blocking?}  [next] blocks for the first line of a batch;
+    [drain] then takes only what is already there ([Unix.select] with
+    a zero timeout guards every further [read]), so a client that
+    sends one request and waits gets its answer immediately while a
+    pipelining client still fills whole batches.
+
+    Lines are split on ['\n'] (a trailing ['\r'] is dropped); an
+    unterminated final line is delivered at EOF.  [EINTR] is retried
+    and a peer reset ([ECONNRESET]/[EPIPE]) reads as EOF. *)
+
+type t
+
+val of_fd : Unix.file_descr -> t
+
+val of_in_channel : in_channel -> t
+(** Reads the descriptor underneath the channel.  The channel's own
+    buffer must be untouched (hand the channel over before reading
+    from it) — the reader consumes the descriptor directly. *)
+
+val next : t -> string option
+(** The next line, blocking until one arrives; [None] at end of
+    input. *)
+
+val drain : t -> max:int -> string list
+(** Up to [max] further lines obtainable {e without blocking}.  On a
+    regular file this reads ahead to the limit or EOF; on a socket or
+    pipe it stops as soon as another [read] would block (bytes of an
+    incomplete line stay buffered for the next call). *)

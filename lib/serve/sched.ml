@@ -1,0 +1,133 @@
+(* The daemon's shared execution engine: a fixed set of worker domains
+   pulling request tasks from one bounded FIFO queue.
+
+   Every client connection submits its current batch here and waits,
+   so parallelism is pooled across clients instead of multiplied by
+   them (N clients x Pool.map would spawn N*jobs domains).  Fairness
+   falls out of the protocol shape: a connection never has more than
+   one batch in flight (it waits for the batch's responses before
+   reading more), so no client can occupy more than [batch] queue
+   slots, and FIFO order interleaves concurrent clients' batches.
+
+   Backpressure is the queue bound: [map] blocks while the queue is
+   full, which stops the submitting connection thread from reading its
+   socket, which fills the kernel buffer, which stalls the client —
+   load shedding by TCP, with a hard cap on queued work in the server.
+
+   Mutex/Condition are domain-safe in OCaml 5, so systhread submitters
+   and domain workers synchronize on the same primitives. *)
+
+module Metrics = Smem_obs.Metrics
+
+let m_tasks = Metrics.counter "sched.tasks"
+let m_queue_high = Metrics.gauge "sched.queue_high"
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* workers: queue has a task, or stopping *)
+  nonfull : Condition.t;  (* submitters: a slot freed up *)
+  queue : (unit -> unit) Queue.t;
+  cap : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let create ?(queue = 256) ~jobs () =
+  if jobs < 1 then invalid_arg "Sched.create: jobs must be positive";
+  if queue < 1 then invalid_arg "Sched.create: queue must be positive";
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      queue = Queue.create ();
+      cap = queue;
+      stopping = false;
+      workers = [];
+    }
+  in
+  let worker () =
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if Queue.is_empty t.queue then begin
+        (* stopping and drained *)
+        Mutex.unlock t.mutex;
+        ()
+      end
+      else begin
+        let task = Queue.pop t.queue in
+        Condition.signal t.nonfull;
+        Mutex.unlock t.mutex;
+        Metrics.incr m_tasks;
+        task ();
+        loop ()
+      end
+    in
+    loop ()
+  in
+  t.workers <- List.init jobs (fun _ -> Domain.spawn worker);
+  t
+
+(* Enqueue one thunk, blocking while the queue is full.  After
+   [shutdown] has begun the queue is closed; late tasks (a connection
+   draining its final batch) run inline on the caller instead. *)
+let enqueue t task =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    task ()
+  end
+  else begin
+    while Queue.length t.queue >= t.cap && not t.stopping do
+      Condition.wait t.nonfull t.mutex
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      task ()
+    end
+    else begin
+      Queue.push task t.queue;
+      Metrics.set_max m_queue_high (Queue.length t.queue);
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mutex
+    end
+  end
+
+let map t thunks =
+  let n = List.length thunks in
+  let results = Array.make n None in
+  let done_mutex = Mutex.create () in
+  let done_cond = Condition.create () in
+  let remaining = ref n in
+  List.iteri
+    (fun i thunk ->
+      enqueue t (fun () ->
+          let r = try Ok (thunk ()) with e -> Error e in
+          Mutex.lock done_mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_cond;
+          Mutex.unlock done_mutex))
+    thunks;
+  Mutex.lock done_mutex;
+  while !remaining > 0 do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok y) -> y
+       | Some (Error e) -> raise e
+       | None -> assert false)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

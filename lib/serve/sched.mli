@@ -1,0 +1,33 @@
+(** Shared worker-domain scheduler for the serving daemon.
+
+    One bounded FIFO task queue drained by a fixed set of domains.
+    Connection threads submit whole request batches with {!map} and
+    block for the results; because each connection waits for its batch
+    before reading the next, FIFO admission is fair across clients (no
+    connection holds more than its batch size in queue slots), and the
+    queue bound is the server's backpressure: a full queue blocks the
+    submitter, which stops reading its socket, which pushes the stall
+    back to the client.
+
+    Metrics: [sched.tasks] (tasks executed) and [sched.queue_high]
+    (high-water queue depth). *)
+
+type t
+
+val create : ?queue:int -> jobs:int -> unit -> t
+(** [jobs] worker domains, a queue bounded at [queue] (default 256)
+    pending tasks.
+    @raise Invalid_argument if either is non-positive. *)
+
+val map : t -> (unit -> 'a) list -> 'a list
+(** Run every thunk on the worker pool and return the results in input
+    order.  Blocks while the queue is full (backpressure) and until
+    the whole batch has completed.  A thunk's exception is re-raised
+    at the submitter; the workers themselves never die.  After
+    {!shutdown} has begun, thunks run inline on the caller so draining
+    connections still complete. *)
+
+val shutdown : t -> unit
+(** Close the queue, let the workers drain what is already queued,
+    and join them.  Idempotent in effect; subsequent {!map} calls run
+    inline. *)

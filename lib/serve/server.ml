@@ -4,48 +4,63 @@ module Metrics = Smem_obs.Metrics
 
 let m_requests = Metrics.counter "serve.requests"
 let m_batches = Metrics.counter "serve.batches"
+let m_partial_batches = Metrics.counter "serve.partial_batches"
 let m_parse_errors = Metrics.counter "serve.parse_errors"
 
-let read_batch ic batch =
-  let rec go acc n =
-    if n >= batch then List.rev acc
-    else
-      match In_channel.input_line ic with
-      | None -> List.rev acc
-      | Some line -> go (line :: acc) (n + 1)
-  in
-  go [] 0
+(* One parsed line: either a request or its in-position bad-request
+   reply.  Arrival numbering is per session (per connection), starting
+   at 1, and only used when the client sent no id of its own. *)
+type parsed =
+  | Req of int * Smem_api.Request.t
+  | Bad of int * string
 
-let run ?(batch = 16) ?jobs ?cache ic oc =
-  let jobs =
-    match jobs with Some j -> j | None -> Smem_parallel.Pool.default_jobs ()
-  in
+let parse_line next_id line =
+  incr next_id;
+  let arrival = !next_id in
+  match Wire.parse_request_line line with
+  | Error message ->
+      Metrics.incr m_parse_errors;
+      Bad (arrival, message)
+  | Ok (id, req) -> Req (Option.value id ~default:arrival, req)
+
+let run_parsed service = function
+  | Bad (id, message) ->
+      Response.error ~id ~code:Response.Bad_request message
+  | Req (id, req) -> Service.handle ~id service req
+
+(* Read one batch: block for the first line, then take only what is
+   already available.  This is the fix for the head-of-line stall — a
+   client that sends a single request and waits for its reply gets a
+   batch of one instead of hanging against a reader that wants 16. *)
+let read_batch frames batch =
+  match Frames.next frames with
+  | None -> []
+  | Some first -> first :: Frames.drain frames ~max:(batch - 1)
+
+(* One client session over a frame reader and an output channel.
+
+   Lone requests run on [solo] (the full jobs budget — a single heavy
+   corpus request in an otherwise idle batch still parallelizes across
+   its cells); batches of two or more fan across [sched] with the
+   [fan] service (jobs = 1 per request, parallelism from the fanning,
+   so the domain budget is never multiplied). *)
+let session ?(batch = 16) ~sched ~solo ~fan frames oc =
   let batch = max 1 batch in
-  let service = Service.create ?cache ~jobs:1 () in
   let next_id = ref 0 in
-  let answer line =
-    incr next_id;
-    let arrival = !next_id in
-    match Wire.parse_request_line line with
-    | Error message ->
-        Metrics.incr m_parse_errors;
-        fun () ->
-          Response.error ~id:arrival ~code:Response.Bad_request message
-    | Ok (id, req) ->
-        let id = Option.value id ~default:arrival in
-        fun () -> Service.handle ~id service req
-  in
   let rec loop () =
-    match read_batch ic batch with
+    match read_batch frames batch with
     | [] -> ()
     | lines ->
         Metrics.incr m_batches;
+        if List.compare_length_with lines batch < 0 then
+          Metrics.incr m_partial_batches;
         Metrics.add m_requests (List.length lines);
-        (* Parse sequentially (arrival numbering is stateful), execute
-           in parallel, emit in order. *)
-        let tasks = List.map answer lines in
+        let parsed = List.map (parse_line next_id) lines in
         let responses =
-          Smem_parallel.Pool.map ~jobs (fun task -> task ()) tasks
+          match parsed with
+          | [ one ] -> [ run_parsed solo one ]
+          | many ->
+              Sched.map sched (List.map (fun p () -> run_parsed fan p) many)
         in
         List.iter
           (fun resp -> Out_channel.output_string oc (Wire.response_line resp))
@@ -54,3 +69,22 @@ let run ?(batch = 16) ?jobs ?cache ic oc =
         loop ()
   in
   loop ()
+
+let run ?(batch = 16) ?jobs ?cache ?store ic oc =
+  let jobs =
+    match jobs with Some j -> j | None -> Smem_parallel.Pool.default_jobs ()
+  in
+  let store =
+    match (store, cache) with
+    | Some path, Some cache -> Some (Store.attach ~path cache)
+    | Some _, None -> None  (* nothing to persist without a cache *)
+    | None, _ -> None
+  in
+  let sched = Sched.create ~jobs () in
+  let solo = Service.create ?cache ~jobs () in
+  let fan = Service.create ?cache ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sched.shutdown sched;
+      Option.iter Store.close store)
+    (fun () -> session ~batch ~sched ~solo ~fan (Frames.of_in_channel ic) oc)

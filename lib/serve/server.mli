@@ -1,35 +1,55 @@
-(** The [smem serve] daemon loop: newline-delimited JSON over a
-    channel pair.
+(** The NDJSON serving loop: requests in, responses out, in order.
 
     Requests arrive one JSON object per line ({!Smem_api.Wire}),
-    responses leave the same way, in request order.  The loop reads up
-    to [batch] lines, executes the batch's independent requests across
-    a {!Smem_parallel.Pool}, writes the responses, flushes, and
-    repeats until end of input.
+    responses leave the same way, in per-client request order.  The
+    reader blocks for the {e first} line of a batch and then drains
+    only what is already available (up to [batch] lines, via
+    {!Frames}), so strict request/response clients get partial batches
+    answered immediately — no [--batch 1] workaround, no head-of-line
+    stall — while pipelining clients still fill whole batches and get
+    cross-request parallelism.
 
-    Batching semantics: the reader {e blocks} until the batch fills or
-    input ends, so a client that waits for an answer before sending its
-    next request must run with [batch = 1] (strict request/response
-    alternation).  Pipelining clients — and pipes that send a whole
-    corpus and close, like the CI smoke test — get cross-request
-    parallelism for free.
+    Execution: a lone request runs on a service owning the full [jobs]
+    budget (its cells parallelize even when it is the only request in
+    flight); batches of two or more fan across the shared {!Sched}
+    with a [jobs = 1] service each, so the two layers of parallelism
+    never multiply.
 
-    Requests that carry no [id] are numbered by arrival order
-    (starting at 1) so every response is attributable.  Unparseable
-    lines produce [bad-request] error responses in position, and never
-    tear the loop down.
+    Requests that carry no [id] are numbered by arrival order within
+    the session (starting at 1).  Unparseable lines produce
+    [bad-request] error responses in position, and never tear the loop
+    down.
 
-    Metrics: [serve.requests], [serve.batches], [serve.parse_errors]
-    in {!Smem_obs.Metrics}. *)
+    Metrics: [serve.requests], [serve.batches],
+    [serve.partial_batches], [serve.parse_errors]. *)
+
+val session :
+  ?batch:int ->
+  sched:Sched.t ->
+  solo:Service.t ->
+  fan:Service.t ->
+  Frames.t ->
+  out_channel ->
+  unit
+(** One client's read/execute/reply loop, over shared infrastructure —
+    the {!Daemon} runs one [session] per connection against one
+    process-wide scheduler and service pair.  Returns at end of
+    input.  [batch] defaults to [16]. *)
 
 val run :
   ?batch:int ->
   ?jobs:int ->
   ?cache:Smem_cache.Cache.t ->
+  ?store:string ->
   in_channel ->
   out_channel ->
   unit
-(** [batch] defaults to [16]; [jobs] (default
-    {!Smem_parallel.Pool.default_jobs}) bounds the domains used per
-    batch.  The underlying {!Service.t} is built with [jobs = 1]:
-    parallelism comes from fanning requests, never nested pools. *)
+(** Self-contained single-client loop (the [smem serve] stdio mode and
+    the tests): builds a scheduler with [jobs] workers (default
+    {!Smem_parallel.Pool.default_jobs}), attaches the persistent
+    verdict store at [store] when both it and a [cache] are given,
+    runs a {!session}, and tears everything down at EOF.
+
+    The input channel's descriptor is read directly (see
+    {!Frames.of_in_channel}); do not read from [ic] around this
+    call. *)

@@ -1,0 +1,118 @@
+(* The persistent verdict store: an append-only log of
+   (canonical digest, model key, verdict) records backing the in-memory
+   cache, so a restarted daemon starts warm.
+
+   Format (smem-store/1): a '#'-prefixed header line, then one record
+   per line — "digest model 0|1", space-separated.  Both key halves
+   are space-free by construction (the digest is MD5 hex from
+   {!Smem_core.Canon}, model keys are registry identifiers).  Replay
+   is forgiving: blank, comment, malformed and truncated lines are
+   skipped, so a crash mid-append costs at most the final record.
+
+   The log is append-only on purpose: a verdict for a digest x model
+   never changes (checkers are deterministic), so compaction would buy
+   disk space, not correctness.  Re-computation after a cache eviction
+   may append a duplicate record; replay collapses duplicates through
+   [Cache.add]'s last-write-wins semantics.
+
+   Appends go through the cache's [on_store] hook, which fires from
+   whatever domain computed the verdict, so the writer is
+   mutex-guarded.  Every append is flushed: a verdict costs a search,
+   a flush costs a syscall. *)
+
+module Metrics = Smem_obs.Metrics
+module Cache = Smem_cache.Cache
+
+let m_appends = Metrics.counter "store.appends"
+let m_replayed = Metrics.counter "store.replayed"
+
+let header = "# smem-store/1"
+
+type t = {
+  path : string;
+  oc : out_channel;
+  mutex : Mutex.t;
+  replayed : int;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let parse_record line =
+  match String.split_on_char ' ' line with
+  | [ digest; model; verdict ]
+    when digest <> "" && model <> "" ->
+      (match verdict with
+      | "1" -> Some (digest, model, true)
+      | "0" -> Some (digest, model, false)
+      | _ -> None)
+  | _ -> None
+
+let replay_file path cache =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if line <> "" && line.[0] <> '#' then
+               match parse_record line with
+               | Some (digest, model, verdict) ->
+                   (* notify:false — replaying must not re-append *)
+                   Cache.add ~notify:false cache ~digest ~model verdict;
+                   incr n
+               | None -> ()
+           done
+         with End_of_file -> ());
+        !n)
+  end
+
+let append t ~digest ~model verdict =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        output_string t.oc
+          (Printf.sprintf "%s %s %c\n" digest model
+             (if verdict then '1' else '0'));
+        flush t.oc;
+        t.appended <- t.appended + 1;
+        Metrics.incr m_appends
+      end)
+
+let attach ~path cache =
+  let replayed = replay_file path cache in
+  Metrics.add m_replayed replayed;
+  let fresh = not (Sys.file_exists path) in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  if fresh then begin
+    output_string oc (header ^ "\n");
+    flush oc
+  end;
+  let t =
+    { path; oc; mutex = Mutex.create (); replayed; appended = 0;
+      closed = false }
+  in
+  Cache.on_store cache (append t);
+  t
+
+let replayed t = t.replayed
+let appended t = t.appended
+let path t = t.path
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        flush t.oc;
+        close_out_noerr t.oc
+      end)

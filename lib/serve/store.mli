@@ -1,0 +1,34 @@
+(** Persistent on-disk verdict store (smem-store/1).
+
+    An append-only log of [(canonical digest, model key, verdict)]
+    records.  {!attach} replays an existing log into the cache (so a
+    restarted daemon answers known histories without recomputing) and
+    then subscribes to the cache's [on_store] hook, appending — and
+    flushing — every subsequently computed verdict.
+
+    Replay tolerates a truncated final line (crash mid-append) and
+    skips comments and malformed records instead of failing; verdicts
+    never change for a given key, so the log needs no compaction and
+    duplicate records are harmless.
+
+    Metrics: [store.appends], [store.replayed]. *)
+
+type t
+
+val attach : path:string -> Smem_cache.Cache.t -> t
+(** Replay [path] (if it exists) into the cache with the hook
+    disarmed, create the file otherwise, then install the append hook.
+    The store becomes the cache's persistence sink until {!close}. *)
+
+val replayed : t -> int
+(** Records loaded into the cache at {!attach} time. *)
+
+val appended : t -> int
+(** Records appended since {!attach}. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Flush and close the log.  Later cache stores are dropped silently
+    (the hook stays installed but writes nowhere) — close on the way
+    out, after the daemon has drained. *)

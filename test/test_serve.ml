@@ -1,6 +1,9 @@
-(* Tests for the serving subsystem: the bounded verdict cache, the
-   request-executing service (cached verdicts must equal fresh ones),
-   and the NDJSON server loop. *)
+(* Tests for the serving subsystem: the bounded verdict cache (including
+   full-key sharding and parallel-domain safety), the request-executing
+   service (cached verdicts must equal fresh ones), the NDJSON server
+   loop (partial batches, malformed frames mid-stream — driven over real
+   socketpairs), the persistent verdict store, and the multi-client
+   daemon (interleaved clients, drain, warm restart). *)
 
 module H = Smem_core.History
 module Model = Smem_core.Model
@@ -12,6 +15,10 @@ module Verdict = Smem_api.Verdict
 module Wire = Smem_api.Wire
 module Service = Smem_serve.Service
 module Server = Smem_serve.Server
+module Frames = Smem_serve.Frames
+module Sched = Smem_serve.Sched
+module Store = Smem_serve.Store
+module Daemon = Smem_serve.Daemon
 module Registry = Smem_core.Registry
 module Corpus = Smem_litmus.Corpus
 module Helpers = Smem_testlib.Helpers
@@ -88,6 +95,69 @@ let cache_rejects_bad_args () =
   Alcotest.check_raises "capacity 0"
     (Invalid_argument "Cache.create: capacity must be positive") (fun () ->
       ignore (Cache.create ~capacity:0 ()))
+
+let cache_shards_on_full_key () =
+  (* A hot history queried under many models must not serialize on one
+     shard: the shard hash covers (digest, model), not digest alone. *)
+  let shards = 8 in
+  let c = Cache.create ~shards ~capacity:1024 () in
+  let models =
+    [ "sc"; "tso"; "pc"; "causal"; "pram"; "coh"; "tso-op"; "rc-sc";
+      "rc-pc"; "atomic"; "m10"; "m11"; "m12"; "m13"; "m14"; "m15" ]
+  in
+  let indices =
+    List.map (fun m -> Cache.shard_index c ~digest:"hot" ~model:m) models
+  in
+  List.iter
+    (fun ix -> check Alcotest.bool "index in range" true (ix >= 0 && ix < shards))
+    indices;
+  check Alcotest.bool "one digest spreads over several shards" true
+    (List.length (List.sort_uniq compare indices) >= 2)
+
+let cache_parallel_find_or_add () =
+  (* Four domains hammer one shard with disjoint key ranges: every
+     returned verdict is the one computed for that key (none lost or
+     crossed), and the FIFO accounting stays exact — entries = capacity,
+     evictions = inserts - capacity. *)
+  let domains = 4 and per = 256 and cap = 64 in
+  let c = Cache.create ~shards:1 ~capacity:cap () in
+  let worker d () =
+    let wrong = ref 0 in
+    for i = 0 to per - 1 do
+      let digest = Printf.sprintf "%d-%d" d i in
+      let expect = (d + i) mod 2 = 0 in
+      let v, cached = Cache.find_or_add c ~digest ~model:"sc" (fun () -> expect) in
+      if v <> expect || cached then incr wrong
+    done;
+    !wrong
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let wrong = List.fold_left (fun acc t -> acc + Domain.join t) 0 spawned in
+  check Alcotest.int "no lost or crossed verdicts" 0 wrong;
+  let s = Cache.stats c in
+  check Alcotest.int "entries at capacity" cap s.Cache.entries;
+  check Alcotest.int "exact eviction count"
+    ((domains * per) - cap)
+    s.Cache.evictions
+
+let cache_parallel_same_key () =
+  (* All domains race find_or_add on the same keys: the cache must hand
+     every caller the key's verdict, never a neighbour's. *)
+  let c = Cache.create ~shards:4 ~capacity:1024 () in
+  let worker () =
+    let wrong = ref 0 in
+    for i = 0 to 199 do
+      let digest = string_of_int i in
+      let expect = i mod 2 = 0 in
+      let v, _ = Cache.find_or_add c ~digest ~model:"sc" (fun () -> expect) in
+      if v <> expect then incr wrong
+    done;
+    !wrong
+  in
+  let spawned = List.init 4 (fun _ -> Domain.spawn worker) in
+  let wrong = List.fold_left (fun acc t -> acc + Domain.join t) 0 spawned in
+  check Alcotest.int "shared keys race cleanly" 0 wrong;
+  check Alcotest.int "one entry per key" 200 (Cache.stats c).Cache.entries
 
 (* ---------------- service: cached = fresh ---------------- *)
 
@@ -306,6 +376,293 @@ let server_second_pass_all_cached () =
       | _ -> Alcotest.fail "corpus check did not answer verdicts")
     firsts seconds
 
+(* ---------------- server loop over a live socket ---------------- *)
+
+(* The temp-file harness above cannot catch the head-of-line stall (a
+   regular file always has "more to read"), so these drive the loop
+   over a real socketpair: the client writes, then *waits* — exactly
+   the traffic shape that used to hang until 16 lines or EOF. *)
+
+let write_fd fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let read_line_fd ?(timeout = 10.) fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then Alcotest.fail "timed out waiting for a reply"
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> Alcotest.fail "timed out waiting for a reply"
+      | _ ->
+          let n = Unix.read fd b 0 1 in
+          if n = 0 then Alcotest.fail "connection closed before the reply"
+          else
+            let ch = Bytes.get b 0 in
+            if ch = '\n' then Buffer.contents buf
+            else begin
+              Buffer.add_char buf ch;
+              go ()
+            end
+  in
+  go ()
+
+let response_of_line line = Wire.parse_response_line line |> Result.get_ok
+
+let with_server f =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ic = Unix.in_channel_of_descr sfd in
+  let oc = Unix.out_channel_of_descr sfd in
+  let t =
+    Thread.create
+      (fun () ->
+        (try Server.run ~jobs:2 ~cache:(Cache.create ~capacity:4096 ()) ic oc
+         with Sys_error _ -> ());
+        try flush oc with Sys_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close cfd with Unix.Unix_error _ -> ());
+      Thread.join t;
+      try Unix.close sfd with Unix.Unix_error _ -> ())
+    (fun () -> f cfd)
+
+let server_partial_batch () =
+  (* The regression this PR fixes: one request, default batch of 16,
+     connection held open — the reply must come anyway. *)
+  with_server (fun fd ->
+      write_fd fd
+        (Wire.request_line ~id:1
+           (Request.Check { test = Named "fig1"; models = [ "sc" ] }));
+      let r = response_of_line (read_line_fd fd) in
+      check (Alcotest.option Alcotest.int) "id" (Some 1) r.Response.id;
+      check Alcotest.bool "ok" true (Response.ok r);
+      (* the connection is still open and serving *)
+      write_fd fd
+        (Wire.request_line ~id:2
+           (Request.Check { test = Named "fig2"; models = [ "sc" ] }));
+      let r2 = response_of_line (read_line_fd fd) in
+      check (Alcotest.option Alcotest.int) "second id" (Some 2) r2.Response.id;
+      check Alcotest.bool "second ok" true (Response.ok r2))
+
+let server_malformed_frame_mid_stream () =
+  with_server (fun fd ->
+      write_fd fd
+        (Wire.request_line ~id:1
+           (Request.Check { test = Named "fig1"; models = [ "sc" ] }));
+      let r1 = response_of_line (read_line_fd fd) in
+      check Alcotest.bool "first ok" true (Response.ok r1);
+      write_fd fd "{\"schema\":\"smem-api/1\" oops\n";
+      let r2 = response_of_line (read_line_fd fd) in
+      check Alcotest.bool "malformed answered, not ok" false (Response.ok r2);
+      (match r2.Response.payload with
+      | Response.Error { code = Response.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "malformed frame did not answer bad-request");
+      check (Alcotest.option Alcotest.int) "arrival number" (Some 2)
+        r2.Response.id;
+      (* the stream survives the bad frame *)
+      write_fd fd
+        (Wire.request_line ~id:7
+           (Request.Check { test = Named "mp"; models = [ "causal" ] }));
+      let r3 = response_of_line (read_line_fd fd) in
+      check (Alcotest.option Alcotest.int) "stream continues" (Some 7)
+        r3.Response.id;
+      check Alcotest.bool "third ok" true (Response.ok r3))
+
+(* ---------------- frames ---------------- *)
+
+let frames_drain_without_blocking () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let f = Frames.of_fd r in
+      write_fd w "one\r\ntwo\nthr";
+      check (Alcotest.option Alcotest.string) "next strips cr" (Some "one")
+        (Frames.next f);
+      check (Alcotest.list Alcotest.string) "drain takes complete lines only"
+        [ "two" ] (Frames.drain f ~max:10);
+      check (Alcotest.list Alcotest.string) "no blocking on a partial line" []
+        (Frames.drain f ~max:10);
+      write_fd w "ee\n";
+      check (Alcotest.option Alcotest.string) "partial line completed"
+        (Some "three") (Frames.next f);
+      Unix.close w;
+      check (Alcotest.option Alcotest.string) "eof" None (Frames.next f))
+
+(* ---------------- sched ---------------- *)
+
+let sched_map_in_order () =
+  let s = Sched.create ~jobs:3 () in
+  Fun.protect
+    ~finally:(fun () -> Sched.shutdown s)
+    (fun () ->
+      let results = Sched.map s (List.init 40 (fun i () -> i * i)) in
+      check (Alcotest.list Alcotest.int) "results in input order"
+        (List.init 40 (fun i -> i * i))
+        results;
+      Alcotest.check_raises "task exception re-raised at submitter" Exit
+        (fun () -> ignore (Sched.map s [ (fun () -> raise Exit) ]));
+      check (Alcotest.list Alcotest.int) "pool survives a raising task"
+        [ 7 ]
+        (Sched.map s [ (fun () -> 7) ]))
+
+(* ---------------- store ---------------- *)
+
+let store_roundtrip () =
+  let path = Filename.temp_file "smem_store" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let c1 = Cache.create ~capacity:64 () in
+      let s1 = Store.attach ~path c1 in
+      check Alcotest.int "fresh store replays nothing" 0 (Store.replayed s1);
+      Cache.add c1 ~digest:"d1" ~model:"sc" true;
+      Cache.add c1 ~digest:"d1" ~model:"pc" false;
+      Cache.add c1 ~digest:"d2" ~model:"sc" true;
+      check Alcotest.int "appended" 3 (Store.appended s1);
+      Store.close s1;
+      let c2 = Cache.create ~capacity:64 () in
+      let s2 = Store.attach ~path c2 in
+      check Alcotest.int "replayed" 3 (Store.replayed s2);
+      check (Alcotest.option Alcotest.bool) "verdict survives restart"
+        (Some false)
+        (Cache.find c2 ~digest:"d1" ~model:"pc");
+      check (Alcotest.option Alcotest.bool) "positive verdict too" (Some true)
+        (Cache.find c2 ~digest:"d2" ~model:"sc");
+      (* replay must not re-append what it just read *)
+      check Alcotest.int "replay appends nothing" 0 (Store.appended s2);
+      Store.close s2)
+
+let store_tolerates_garbage_and_truncation () =
+  let path = Filename.temp_file "smem_store" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let c1 = Cache.create ~capacity:64 () in
+      let s1 = Store.attach ~path c1 in
+      Cache.add c1 ~digest:"good" ~model:"sc" true;
+      Store.close s1;
+      (* simulate a crash mid-append plus stray junk *)
+      let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+      output_string oc "not a record at all\n";
+      output_string oc "trunc sc";
+      (* no verdict, no newline *)
+      close_out oc;
+      let c2 = Cache.create ~capacity:64 () in
+      let s2 = Store.attach ~path c2 in
+      check Alcotest.int "only the good record replays" 1 (Store.replayed s2);
+      check (Alcotest.option Alcotest.bool) "good record intact" (Some true)
+        (Cache.find c2 ~digest:"good" ~model:"sc");
+      (* the store still accepts new appends after a dirty replay *)
+      Cache.add c2 ~digest:"after" ~model:"sc" false;
+      check Alcotest.int "appends resume" 1 (Store.appended s2);
+      Store.close s2)
+
+(* ---------------- daemon ---------------- *)
+
+let temp_sock_path () =
+  let path = Filename.temp_file "smem_daemon" ".sock" in
+  Sys.remove path;
+  path
+
+let daemon_interleaved_clients () =
+  let path = temp_sock_path () in
+  let cache = Cache.create ~capacity:4096 () in
+  let d =
+    Daemon.create ~jobs:2 ~cache ~endpoints:[ Daemon.Unix_socket path ] ()
+  in
+  Daemon.start d;
+  let names = [ "fig1"; "fig2"; "mp"; "lb"; "iriw" ] in
+  let client i =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        List.for_all Fun.id
+          (List.mapi
+             (fun j name ->
+               let id = (i * 100) + j + 1 in
+               write_fd fd
+                 (Wire.request_line ~id
+                    (Request.Check { test = Named name; models = [ "sc" ] }));
+               (* request/response lockstep interleaves the clients *)
+               let r = response_of_line (read_line_fd fd) in
+               r.Response.id = Some id && Response.ok r)
+             names))
+  in
+  let results = Array.make 4 false in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create (fun () -> results.(i) <- client i) ())
+  in
+  List.iter Thread.join threads;
+  Daemon.stop d;
+  Daemon.wait d;
+  Array.iteri
+    (fun i ok ->
+      check Alcotest.bool
+        (Printf.sprintf "client %d: every reply in order and ok" i)
+        true ok)
+    results;
+  check Alcotest.bool "socket file removed on drain" false
+    (Sys.file_exists path)
+
+let daemon_warm_restart () =
+  let sock = temp_sock_path () in
+  let store_path = Filename.temp_file "smem_store" ".log" in
+  Sys.remove store_path;
+  let names = [ "fig1"; "fig2"; "mp" ] in
+  let pass () =
+    let cache = Cache.create ~capacity:4096 () in
+    let d =
+      Daemon.create ~jobs:2 ~cache ~store:store_path
+        ~endpoints:[ Daemon.Unix_socket sock ] ()
+    in
+    Daemon.start d;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let totals =
+      List.mapi
+        (fun j name ->
+          write_fd fd
+            (Wire.request_line ~id:(j + 1)
+               (Request.Check { test = Named name; models = [] }));
+          let r = response_of_line (read_line_fd fd) in
+          check Alcotest.bool (name ^ " ok") true (Response.ok r);
+          (r.Response.cached, r.Response.computed))
+        names
+    in
+    Unix.close fd;
+    Daemon.stop d;
+    Daemon.wait d;
+    List.fold_left
+      (fun (c, k) (c', k') -> (c + c', k + k'))
+      (0, 0) totals
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store_path then Sys.remove store_path)
+    (fun () ->
+      let _, computed_cold = pass () in
+      check Alcotest.bool "cold pass computes" true (computed_cold > 0);
+      (* brand-new daemon, brand-new cache, same store file *)
+      let cached_warm, computed_warm = pass () in
+      check Alcotest.int "warm restart computes nothing" 0 computed_warm;
+      check Alcotest.bool "warm restart serves from the store" true
+        (cached_warm > 0))
+
 let () =
   Alcotest.run "serve"
     [
@@ -316,6 +673,9 @@ let () =
           tc "find_or_add" cache_find_or_add;
           tc "clear" cache_clear;
           tc "bad args" cache_rejects_bad_args;
+          tc "shards on the full (digest, model) key" cache_shards_on_full_key;
+          tc "parallel find_or_add: exact accounting" cache_parallel_find_or_add;
+          tc "parallel find_or_add: shared keys" cache_parallel_same_key;
         ] );
       ( "service",
         tc "corpus twice: warm pass cached, verdicts stable" corpus_twice
@@ -327,5 +687,23 @@ let () =
           tc "in-order responses, id echo" server_answers_in_order;
           tc "bad line answered in position" server_bad_line_in_position;
           tc "second pass all cached" server_second_pass_all_cached;
+          tc "partial batch answered without waiting" server_partial_batch;
+          tc "malformed frame mid-stream" server_malformed_frame_mid_stream;
+        ] );
+      ( "frames",
+        [ tc "drain takes only what is available" frames_drain_without_blocking ]
+      );
+      ("sched", [ tc "map: ordered results, exceptions" sched_map_in_order ]);
+      ( "store",
+        [
+          tc "roundtrip across restart" store_roundtrip;
+          tc "garbage and truncation tolerated"
+            store_tolerates_garbage_and_truncation;
+        ] );
+      ( "daemon",
+        [
+          tc "four interleaved clients, in-order replies"
+            daemon_interleaved_clients;
+          tc "warm restart answers from the store" daemon_warm_restart;
         ] );
     ]
