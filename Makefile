@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -56,6 +56,12 @@ serve-smoke: build
 serve-load: build
 	python3 scripts/serve_load.py --exe _build/default/bin/smem.exe
 
+# Deterministic simulation of the serving stack: seeded schedules,
+# every benign fault enabled, zero invariant violations expected.
+# Failing schedules are shrunk and printed as replayable commands.
+sim-smoke: build
+	dune exec bin/smem.exe -- sim --seed 42 --count 200 --stats
+
 # Formatting needs ocamlformat (version pinned in .ocamlformat).
 fmt:
 	dune fmt
@@ -65,7 +71,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke certs serve-smoke bench-figures
+ci: build test examples fuzz-smoke certs serve-smoke serve-load sim-smoke bench-figures
 
 clean:
 	dune clean

@@ -1215,6 +1215,206 @@ let serve_cmd =
       const run $ batch $ jobs_arg $ cache_arg $ store $ queue $ tcp $ socket
       $ obs_term)
 
+let sim_cmd =
+  let module Sim = Smem_sim.Sim in
+  let module Schedule = Smem_sim.Schedule in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~doc:"Simulation cases to run (cases 1..N).")
+  in
+  let case =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "case" ] ~docv:"N"
+          ~doc:
+            "Run only case $(docv) — replay mode, usually combined with \
+             $(b,--schedule) from a failure report.")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt int Sim.default.Sim.clients
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Simulated client connections per case.")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt int Sim.default.Sim.requests_per_client
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Scripted requests per connection.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Sim.default.Sim.batch
+      & info [ "batch" ] ~docv:"N" ~doc:"Serving batch bound under test.")
+  in
+  let steps =
+    Arg.(
+      value
+      & opt int Sim.default.Sim.steps
+      & info [ "steps" ] ~docv:"N"
+          ~doc:"Schedule events drawn per generated case.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Sim.default.Sim.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:
+            "Verdict cache capacity.  Deliberately small by default so \
+             eviction storms actually evict live entries.")
+  in
+  let faults =
+    Arg.(
+      value & opt string "default"
+      & info [ "faults" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated fault injections to enable, or $(b,default) \
+             (every benign fault), $(b,all) (benign plus the deliberate \
+             bug faults), $(b,none).  Known faults: worker-crash, \
+             evict-storm, malformed-frame, truncated-frame, slow-reader, \
+             oversized-batch, store-kill, bug-cache-corrupt.")
+  in
+  let no_store =
+    Arg.(
+      value & flag
+      & info [ "no-store" ]
+          ~doc:
+            "Run without a persistent verdict store (store faults become \
+             no-ops).")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"EVENTS"
+          ~doc:
+            "Execute exactly this schedule instead of generating one — \
+             the token list printed with every failure (d<conn>:<bytes>, \
+             s<conn>, x<conn>, crash, storm, kill, corrupt).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write every minimized failing schedule to $(docv), one \
+             replay command per failure.")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write the full event log of every case to $(docv).  Two runs \
+             with the same seed and configuration produce byte-identical \
+             files — CI diffs them as the determinism check.")
+  in
+  let run seed count case clients requests batch steps capacity faults no_store
+      schedule out log_file jobs obs =
+    setup_obs obs;
+    let faults =
+      match faults with
+      | "default" -> Schedule.default_faults
+      | "all" -> Schedule.all_faults
+      | "none" -> []
+      | s -> (
+          match Schedule.faults_of_string s with
+          | Ok fs -> fs
+          | Error msg ->
+              Format.eprintf "error: %s@." msg;
+              exit 2)
+    in
+    let schedule =
+      Option.map
+        (fun s ->
+          match Schedule.of_string s with
+          | Ok e -> e
+          | Error msg ->
+              Format.eprintf "error: --schedule: %s@." msg;
+              exit 2)
+        schedule
+    in
+    let cfg =
+      {
+        Sim.clients;
+        requests_per_client = requests;
+        batch;
+        cache_capacity = capacity;
+        steps;
+        faults;
+        store = not no_store;
+      }
+    in
+    let cases =
+      match case with
+      | Some n -> [ n ]
+      | None -> List.init (max 0 count) (fun i -> i + 1)
+    in
+    let outcome = Sim.run ~jobs:(resolve_jobs jobs) ?schedule cfg ~seed ~cases in
+    (match log_file with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        List.iter
+          (fun (r : Sim.report) ->
+            Printf.fprintf oc "=== case %d digest %s\n%s" r.Sim.case
+              r.Sim.digest r.Sim.log)
+          outcome.Sim.reports;
+        close_out oc;
+        Format.printf "wrote %s@." file);
+    Format.printf
+      "sim: seed %d, %d case(s), %d event(s), %d response(s), %d failure(s)@."
+      seed outcome.Sim.cases outcome.Sim.events outcome.Sim.responses
+      (List.length outcome.Sim.failures);
+    (match out with
+    | Some file when outcome.Sim.failures <> [] ->
+        let oc = open_out file in
+        List.iter
+          (fun (f : Sim.failure) ->
+            Printf.fprintf oc "# case %d: %s\n%s\n" f.Sim.case f.Sim.reason
+              (Sim.replay_command cfg f))
+          outcome.Sim.failures;
+        close_out oc;
+        Format.printf "wrote %s@." file
+    | _ -> ());
+    if outcome.Sim.failures <> [] then begin
+      List.iter
+        (fun (f : Sim.failure) ->
+          Format.printf
+            "@.case %d FAILED: %s@.  schedule (%d event(s), %d shrink \
+             step(s)): %s@.  replay: %s@."
+            f.Sim.case f.Sim.reason
+            (List.length f.Sim.schedule)
+            f.Sim.shrink_steps
+            (Schedule.to_string f.Sim.schedule)
+            (Sim.replay_command cfg f))
+        outcome.Sim.failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Deterministic simulation of the serving stack: seeded schedules \
+          drive the real server loop, cache and store over in-memory \
+          channels, an inline scheduler and a virtual clock, injecting \
+          worker crashes, eviction storms, malformed and truncated frames, \
+          slow readers, oversized batches and mid-append store kills; \
+          invariants are checked after every event and failing schedules \
+          are shrunk to minimal replayable repros.")
+    Term.(
+      const run $ seed $ count $ case $ clients $ requests $ batch $ steps
+      $ capacity $ faults $ no_store $ schedule $ out $ log_file $ jobs_arg
+      $ obs_term)
+
 let api_cmd =
   let models_opt =
     Arg.(
@@ -1270,5 +1470,6 @@ let () =
             fuzz_cmd;
             cert_cmd;
             serve_cmd;
+            sim_cmd;
             api_cmd;
           ]))

@@ -4,6 +4,7 @@ type error_code =
   | Unknown_test
   | Uncertifiable
   | Rejected
+  | Internal
 
 type payload =
   | Verdicts of Verdict.t list
@@ -47,6 +48,7 @@ let error_code_to_string = function
   | Unknown_test -> "unknown-test"
   | Uncertifiable -> "uncertifiable"
   | Rejected -> "rejected"
+  | Internal -> "internal"
 
 let error_code_of_string = function
   | "bad-request" -> Some Bad_request
@@ -54,6 +56,7 @@ let error_code_of_string = function
   | "unknown-test" -> Some Unknown_test
   | "uncertifiable" -> Some Uncertifiable
   | "rejected" -> Some Rejected
+  | "internal" -> Some Internal
   | _ -> None
 
 let pp ppf t =

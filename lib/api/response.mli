@@ -15,6 +15,10 @@ type error_code =
   | Rejected
       (** the independent kernel rejected the certificate the engine
           emitted — the engine and the kernel disagree *)
+  | Internal
+      (** executing the request raised — a worker crashed mid-batch or
+          a checker hit a bug.  The serving loop answers the affected
+          requests with this code, in position, and keeps running. *)
 
 type payload =
   | Verdicts of Verdict.t list  (** [Check] / [Corpus] *)

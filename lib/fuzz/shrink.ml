@@ -77,6 +77,46 @@ let candidates rows =
   let unlabel = tweak (fun c -> if c.labeled then [ { c with labeled = false } ] else []) in
   drop_proc @ drop_op @ lower_value @ unlabel
 
+(* Generic greedy list minimization, same discipline as [shrink]:
+   deterministic candidate order, first accepted reduction taken,
+   iterate to a fixpoint.  Candidates are contiguous-span removals,
+   largest spans first (halving down to single elements), so a failing
+   schedule collapses in O(log n) big bites before element-by-element
+   polishing.  The simulation harness shrinks event schedules with
+   this. *)
+let list ~keep xs =
+  if not (keep xs) then (xs, 0)
+  else begin
+    let remove off len l =
+      List.filteri (fun i _ -> i < off || i >= off + len) l
+    in
+    let reduce l =
+      let n = List.length l in
+      if n = 0 then None
+      else begin
+        let rec sizes s = if s < 1 then [] else s :: sizes (s / 2) in
+        let candidates =
+          List.concat_map
+            (fun len -> List.init (n - len + 1) (fun off -> (off, len)))
+            (sizes (max 1 (n / 2)))
+        in
+        let rec first = function
+          | [] -> None
+          | (off, len) :: rest ->
+              let c = remove off len l in
+              if keep c then Some c else first rest
+        in
+        first candidates
+      end
+    in
+    let rec go l steps =
+      match reduce l with
+      | Some l' -> go l' (steps + 1)
+      | None -> (l, steps)
+    in
+    go xs 0
+  end
+
 let shrink ~keep h =
   if not (keep h) then (h, 0)
   else begin

@@ -22,3 +22,13 @@ val shrink :
   keep:(Smem_core.History.t -> bool) ->
   Smem_core.History.t ->
   Smem_core.History.t * int
+
+val list : keep:('a list -> bool) -> 'a list -> 'a list * int
+(** Generic greedy list minimization under the same contract as
+    {!shrink}: if the input satisfies [keep], repeatedly remove the
+    first contiguous span (largest spans first, halving down to single
+    elements) whose removal preserves [keep], to a fixpoint; returns
+    the minimized list and the number of accepted removals.  An input
+    that fails [keep] comes back unchanged with [0] steps.  The
+    simulation harness ({!Smem_sim}) shrinks failing event schedules
+    with this. *)

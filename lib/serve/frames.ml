@@ -1,21 +1,33 @@
-(* A buffered NDJSON line reader over a raw file descriptor.
+(* A buffered NDJSON line reader over an abstract byte source.
 
    The server's batching bug was baked into [In_channel.input_line]:
    the channel cannot say whether another line is available without
    blocking, so a batch reader built on it must either block until the
    batch fills (head-of-line stall for request/response clients) or
-   give up batching entirely.  Reading the descriptor ourselves fixes
-   that: [next] blocks for one line, [drain] takes whatever further
-   complete lines can be had without blocking — [Unix.select] with a
-   zero timeout decides whether another [read] is safe.
+   give up batching entirely.  Reading the bytes ourselves fixes that:
+   [next] blocks for one line, [drain] takes whatever further complete
+   lines can be had without blocking — the source's [readable] probe
+   decides whether another [read] is safe.
+
+   The source is abstract so the deterministic simulation harness
+   ({!Smem_sim}) can feed a session from an in-memory channel with no
+   descriptor underneath; [of_fd] wraps a real descriptor ([Unix.read]
+   guarded by a zero-timeout [Unix.select]).
 
    Lines are split on '\n'; a trailing '\r' is dropped so CRLF clients
-   work.  A final unterminated line is delivered at EOF.  [EINTR] is
-   retried; [ECONNRESET]/[EPIPE] from a vanished peer count as EOF
-   rather than tearing the server down. *)
+   work.  A final unterminated line is delivered at EOF.  For the fd
+   source, [EINTR] is retried; [ECONNRESET]/[EPIPE] from a vanished
+   peer count as EOF rather than tearing the server down. *)
+
+type source = {
+  read : Bytes.t -> int -> int -> int;
+      (* like [Unix.read]: blocks for at least one byte, 0 = EOF *)
+  readable : unit -> bool;
+      (* would [read] return immediately, with bytes or EOF? *)
+}
 
 type t = {
-  fd : Unix.file_descr;
+  source : source;
   chunk : Bytes.t;
   pending : Buffer.t;  (* bytes read but not yet split into lines *)
   mutable lines : string list;  (* complete lines, oldest first *)
@@ -24,10 +36,29 @@ type t = {
 
 let chunk_size = 65536
 
-let of_fd fd =
-  { fd; chunk = Bytes.create chunk_size; pending = Buffer.create 256;
+let of_source source =
+  { source; chunk = Bytes.create chunk_size; pending = Buffer.create 256;
     lines = []; eof = false }
 
+(* Would a [read] on [fd] return immediately?  True for regular files
+   always (so file-fed tests and closed pipes still batch up to the
+   limit), and for sockets exactly when data or EOF is pending. *)
+let source_of_fd fd =
+  let rec read buf pos len =
+    match Unix.read fd buf pos len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read buf pos len
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  let readable () =
+    match Unix.select [ fd ] [] [] 0. with
+    | [ _ ], _, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  { read; readable }
+
+let of_fd fd = of_source (source_of_fd fd)
 let of_in_channel ic = of_fd (Unix.descr_of_in_channel ic)
 
 (* Split every complete line out of [pending] into [lines]. *)
@@ -46,24 +77,14 @@ let split_pending t =
       t.lines <-
         t.lines @ List.map strip_cr (String.split_on_char '\n' complete)
 
-let rec read_once t =
-  match Unix.read t.fd t.chunk 0 chunk_size with
+let read_once t =
+  match t.source.read t.chunk 0 chunk_size with
   | 0 -> t.eof <- true
   | n ->
       Buffer.add_subbytes t.pending t.chunk 0 n;
       split_pending t
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once t
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      t.eof <- true
 
-(* Would a [read] return immediately?  True for regular files always
-   (so file-fed tests and closed pipes still batch up to the limit),
-   and for sockets exactly when data or EOF is pending. *)
-let readable_now t =
-  match Unix.select [ t.fd ] [] [] 0. with
-  | [ _ ], _, _ -> true
-  | _ -> false
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+let readable_now t = t.source.readable ()
 
 let pop t =
   match t.lines with

@@ -15,14 +15,25 @@
    load shedding by TCP, with a hard cap on queued work in the server.
 
    Mutex/Condition are domain-safe in OCaml 5, so systhread submitters
-   and domain workers synchronize on the same primitives. *)
+   and domain workers synchronize on the same primitives.
+
+   A second, deterministic backend ({!inline}) exists for the
+   simulation harness: no domains, no queue — tasks of a batch run on
+   the submitting thread, in an order chosen by an injectable hook,
+   with a pre-task hook that can raise to model a worker crashing
+   mid-batch.  Both backends keep the same [map] contract: results in
+   input order, first task exception re-raised at the submitter. *)
 
 module Metrics = Smem_obs.Metrics
 
 let m_tasks = Metrics.counter "sched.tasks"
 let m_queue_high = Metrics.gauge "sched.queue_high"
 
-type t = {
+exception Worker_crashed of string
+(* Raised by a simulated worker-domain crash (the [inline] backend's
+   [on_task] hook); carries the crash site for the error message. *)
+
+type pool = {
   mutex : Mutex.t;
   nonempty : Condition.t;  (* workers: queue has a task, or stopping *)
   nonfull : Condition.t;  (* submitters: a slot freed up *)
@@ -31,6 +42,14 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
+
+type inline = {
+  order : batch:int -> size:int -> int list;
+  on_task : batch:int -> index:int -> unit;
+  mutable batches : int;  (* map calls so far; the hooks' [batch] id *)
+}
+
+type t = Pool of pool | Inline of inline
 
 let create ?(queue = 256) ~jobs () =
   if jobs < 1 then invalid_arg "Sched.create: jobs must be positive";
@@ -69,7 +88,13 @@ let create ?(queue = 256) ~jobs () =
     loop ()
   in
   t.workers <- List.init jobs (fun _ -> Domain.spawn worker);
-  t
+  Pool t
+
+let identity_order ~batch:_ ~size = List.init size Fun.id
+
+let inline ?(order = identity_order) ?(on_task = fun ~batch:_ ~index:_ -> ())
+    () =
+  Inline { order; on_task; batches = 0 }
 
 (* Enqueue one thunk, blocking while the queue is full.  After
    [shutdown] has begun the queue is closed; late tasks (a connection
@@ -96,7 +121,7 @@ let enqueue t task =
     end
   end
 
-let map t thunks =
+let pool_map t thunks =
   let n = List.length thunks in
   let results = Array.make n None in
   let done_mutex = Mutex.create () in
@@ -123,11 +148,46 @@ let map t thunks =
        | Some (Error e) -> raise e
        | None -> assert false)
 
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.stopping <- true;
-  Condition.broadcast t.nonempty;
-  Condition.broadcast t.nonfull;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+(* The deterministic backend: every task runs on the caller, in the
+   order the hook dictates, results still in input order.  A bad
+   permutation is an error in the schedule, not undefined behavior. *)
+let inline_map t thunks =
+  let n = List.length thunks in
+  let batch = t.batches in
+  t.batches <- batch + 1;
+  let order = t.order ~batch ~size:n in
+  if
+    List.length order <> n
+    || List.sort compare order <> List.init n Fun.id
+  then invalid_arg "Sched.inline: order hook must permute 0..size-1";
+  let thunks = Array.of_list thunks in
+  let results = Array.make n None in
+  List.iter
+    (fun i ->
+      Metrics.incr m_tasks;
+      results.(i) <-
+        Some
+          (try
+             t.on_task ~batch ~index:i;
+             Ok (thunks.(i) ())
+           with e -> Error e))
+    order;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok y) -> y
+       | Some (Error e) -> raise e
+       | None -> assert false)
+
+let map t thunks =
+  match t with Pool p -> pool_map p thunks | Inline i -> inline_map i thunks
+
+let shutdown = function
+  | Inline _ -> ()
+  | Pool t ->
+      Mutex.lock t.mutex;
+      t.stopping <- true;
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.nonfull;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.workers;
+      t.workers <- []

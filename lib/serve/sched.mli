@@ -1,33 +1,59 @@
-(** Shared worker-domain scheduler for the serving daemon.
+(** Shared worker scheduler for the serving daemon, with two backends.
 
-    One bounded FIFO task queue drained by a fixed set of domains.
-    Connection threads submit whole request batches with {!map} and
-    block for the results; because each connection waits for its batch
-    before reading the next, FIFO admission is fair across clients (no
-    connection holds more than its batch size in queue slots), and the
-    queue bound is the server's backpressure: a full queue blocks the
-    submitter, which stops reading its socket, which pushes the stall
-    back to the client.
+    The production backend ({!create}) is one bounded FIFO task queue
+    drained by a fixed set of domains.  Connection threads submit whole
+    request batches with {!map} and block for the results; because each
+    connection waits for its batch before reading the next, FIFO
+    admission is fair across clients (no connection holds more than its
+    batch size in queue slots), and the queue bound is the server's
+    backpressure: a full queue blocks the submitter, which stops
+    reading its socket, which pushes the stall back to the client.
+
+    The deterministic backend ({!inline}) exists for the simulation
+    harness ({!Smem_sim}): no domains, no queue — a batch's tasks run
+    on the submitting thread in an order chosen by an injectable hook,
+    and a pre-task hook may raise {!Worker_crashed} to model a worker
+    domain dying mid-batch.  Both backends honor the same {!map}
+    contract, so {!Server} code cannot tell them apart.
 
     Metrics: [sched.tasks] (tasks executed) and [sched.queue_high]
-    (high-water queue depth). *)
+    (high-water queue depth, production backend only). *)
 
 type t
+
+exception Worker_crashed of string
+(** Simulated worker-domain crash: raised by an {!inline} [on_task]
+    hook; the serving loop answers the affected request with an
+    [internal] error in position instead of dying. *)
 
 val create : ?queue:int -> jobs:int -> unit -> t
 (** [jobs] worker domains, a queue bounded at [queue] (default 256)
     pending tasks.
     @raise Invalid_argument if either is non-positive. *)
 
+val inline :
+  ?order:(batch:int -> size:int -> int list) ->
+  ?on_task:(batch:int -> index:int -> unit) ->
+  unit ->
+  t
+(** A deterministic scheduler running every task on the caller.
+    [order ~batch ~size] picks the execution order of the [batch]-th
+    {!map} call's [size] tasks (default: input order; must be a
+    permutation of [0..size-1]).  [on_task ~batch ~index] runs just
+    before task [index]; an exception it raises is recorded as that
+    task's failure — raise {!Worker_crashed} to simulate a worker
+    dying mid-batch. *)
+
 val map : t -> (unit -> 'a) list -> 'a list
-(** Run every thunk on the worker pool and return the results in input
-    order.  Blocks while the queue is full (backpressure) and until
-    the whole batch has completed.  A thunk's exception is re-raised
-    at the submitter; the workers themselves never die.  After
-    {!shutdown} has begun, thunks run inline on the caller so draining
-    connections still complete. *)
+(** Run every thunk and return the results in input order.  On the
+    production backend this fans over the worker pool, blocks while
+    the queue is full (backpressure) and until the whole batch has
+    completed; after {!shutdown} has begun, thunks run inline on the
+    caller so draining connections still complete.  On either backend
+    a task's exception is re-raised at the submitter and the scheduler
+    itself survives. *)
 
 val shutdown : t -> unit
 (** Close the queue, let the workers drain what is already queued,
     and join them.  Idempotent in effect; subsequent {!map} calls run
-    inline. *)
+    inline.  A no-op on the {!inline} backend. *)

@@ -18,10 +18,38 @@
     Requests that carry no [id] are numbered by arrival order within
     the session (starting at 1).  Unparseable lines produce
     [bad-request] error responses in position, and never tear the loop
-    down.
+    down.  A request whose {e execution} raises — a worker crash
+    mid-batch, an engine bug — answers with an [internal] error in
+    position and the session keeps serving; if the scheduler itself
+    fails, the whole batch answers [internal] errors, in order.
+
+    The loop is exposed both whole ({!session}: loop to end of input)
+    and one iteration at a time ({!step}), which is how the
+    deterministic simulation harness drives it — one batch per
+    schedule step, over in-memory frames and sinks.
 
     Metrics: [serve.requests], [serve.batches],
-    [serve.partial_batches], [serve.parse_errors]. *)
+    [serve.partial_batches], [serve.parse_errors],
+    [serve.task_failures]. *)
+
+type sink = { write : string -> unit; flush : unit -> unit }
+(** Where response lines go: an {!out_channel} in production
+    ({!sink_of_channel}), an in-memory buffer under simulation. *)
+
+val sink_of_channel : out_channel -> sink
+
+type conn
+(** One client's session state: its frame reader, response sink, and
+    arrival counter. *)
+
+val conn : Frames.t -> sink -> conn
+
+val step :
+  ?batch:int -> sched:Sched.t -> solo:Service.t -> fan:Service.t -> conn -> bool
+(** One read/execute/reply iteration: block for the first request
+    line, drain up to [batch - 1] more without blocking, execute,
+    write every response (in order) and flush.  Returns [false] at end
+    of input, [true] otherwise.  [batch] defaults to [16]. *)
 
 val session :
   ?batch:int ->
@@ -31,10 +59,10 @@ val session :
   Frames.t ->
   out_channel ->
   unit
-(** One client's read/execute/reply loop, over shared infrastructure —
-    the {!Daemon} runs one [session] per connection against one
-    process-wide scheduler and service pair.  Returns at end of
-    input.  [batch] defaults to [16]. *)
+(** One client's read/execute/reply loop ({!step} iterated to end of
+    input), over shared infrastructure — the {!Daemon} runs one
+    [session] per connection against one process-wide scheduler and
+    service pair. *)
 
 val run :
   ?batch:int ->

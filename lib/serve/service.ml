@@ -8,9 +8,13 @@ module Verdict = Smem_api.Verdict
 module Test = Smem_litmus.Test
 module Clock = Smem_obs.Clock
 
-type t = { cache : Cache.t option; jobs : int }
+type t = { cache : Cache.t option; jobs : int; clock : unit -> int }
 
-let create ?cache ?(jobs = 1) () = { cache; jobs }
+(* The clock is a seam: responses carry [elapsed_ns], and the
+   deterministic simulation harness needs byte-identical responses
+   across runs, so it injects a virtual clock advancing a fixed tick
+   per reading.  Production reads the monotonic clock. *)
+let create ?cache ?(jobs = 1) ?(clock = Clock.now) () = { cache; jobs; clock }
 let cache t = t.cache
 
 let check_model t model h =
@@ -224,24 +228,18 @@ let execute t = function
       Ok ((payload, 0, 1))
 
 let handle ?id t req =
-  let t0 = Clock.now () in
+  let t0 = t.clock () in
+  let elapsed () = max 0 (t.clock () - t0) in
   let kind = Request.kind req in
   match execute t req with
   | Ok (payload, cached, computed) ->
-      {
-        Response.id;
-        kind;
-        cached;
-        computed;
-        elapsed_ns = Clock.elapsed_ns t0;
-        payload;
-      }
+      { Response.id; kind; cached; computed; elapsed_ns = elapsed (); payload }
   | Error { code; message } ->
       {
         Response.id;
         kind;
         cached = 0;
         computed = 0;
-        elapsed_ns = Clock.elapsed_ns t0;
+        elapsed_ns = elapsed ();
         payload = Response.Error { code; message };
       }

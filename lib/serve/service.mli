@@ -16,8 +16,12 @@
 
 type t
 
-val create : ?cache:Smem_cache.Cache.t -> ?jobs:int -> unit -> t
-(** [jobs] defaults to [1]. *)
+val create :
+  ?cache:Smem_cache.Cache.t -> ?jobs:int -> ?clock:(unit -> int) -> unit -> t
+(** [jobs] defaults to [1].  [clock] supplies the nanosecond readings
+    behind each response's [elapsed_ns] (default
+    {!Smem_obs.Clock.now}); the simulation harness injects a virtual
+    clock here so responses are byte-identical across runs. *)
 
 val cache : t -> Smem_cache.Cache.t option
 

@@ -84,15 +84,35 @@ let append t ~digest ~model verdict =
         Metrics.incr m_appends
       end)
 
+(* A crash mid-append leaves a torn final record with no trailing
+   newline.  Appending straight after it would splice the next record
+   onto the torn bytes, corrupting a good record into garbage (found
+   by the simulation harness's store-kill fault).  Sealing the tail
+   with a newline turns the torn bytes into one malformed line that
+   replay skips forever. *)
+let torn_tail path =
+  Sys.file_exists path
+  && In_channel.with_open_bin path (fun ic ->
+         let n = In_channel.length ic in
+         n > 0L
+         &&
+         (In_channel.seek ic (Int64.sub n 1L);
+          In_channel.input_char ic <> Some '\n'))
+
 let attach ~path cache =
   let replayed = replay_file path cache in
   Metrics.add m_replayed replayed;
   let fresh = not (Sys.file_exists path) in
+  let seal = torn_tail path in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
   if fresh then begin
     output_string oc (header ^ "\n");
+    flush oc
+  end
+  else if seal then begin
+    output_string oc "\n";
     flush oc
   end;
   let t =

@@ -1,0 +1,154 @@
+type fault =
+  | Worker_crash
+  | Evict_storm
+  | Malformed_frame
+  | Truncated_frame
+  | Slow_reader
+  | Oversized_batch
+  | Store_kill
+  | Bug_cache_corrupt
+
+let all_faults =
+  [
+    Worker_crash;
+    Evict_storm;
+    Malformed_frame;
+    Truncated_frame;
+    Slow_reader;
+    Oversized_batch;
+    Store_kill;
+    Bug_cache_corrupt;
+  ]
+
+let default_faults = List.filter (fun f -> f <> Bug_cache_corrupt) all_faults
+
+let fault_name = function
+  | Worker_crash -> "worker-crash"
+  | Evict_storm -> "evict-storm"
+  | Malformed_frame -> "malformed-frame"
+  | Truncated_frame -> "truncated-frame"
+  | Slow_reader -> "slow-reader"
+  | Oversized_batch -> "oversized-batch"
+  | Store_kill -> "store-kill"
+  | Bug_cache_corrupt -> "bug-cache-corrupt"
+
+let fault_of_name name =
+  List.find_opt (fun f -> fault_name f = name) all_faults
+
+let faults_of_string s =
+  let names =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun n -> n <> "")
+  in
+  List.fold_right
+    (fun name acc ->
+      match acc with
+      | Error _ as e -> e
+      | Ok fs -> (
+          match fault_of_name name with
+          | Some f -> Ok (f :: fs)
+          | None -> Error ("unknown fault: " ^ name)))
+    names (Ok [])
+
+type event =
+  | Deliver of { conn : int; bytes : int }
+  | Step of int
+  | Close of int
+  | Crash_worker
+  | Evict
+  | Kill_store
+  | Corrupt_cache
+
+let pp_event ppf = function
+  | Deliver { conn; bytes } -> Format.fprintf ppf "d%d:%d" conn bytes
+  | Step conn -> Format.fprintf ppf "s%d" conn
+  | Close conn -> Format.fprintf ppf "x%d" conn
+  | Crash_worker -> Format.pp_print_string ppf "crash"
+  | Evict -> Format.pp_print_string ppf "storm"
+  | Kill_store -> Format.pp_print_string ppf "kill"
+  | Corrupt_cache -> Format.pp_print_string ppf "corrupt"
+
+let to_string events =
+  String.concat " "
+    (List.map (fun e -> Format.asprintf "%a" pp_event e) events)
+
+let parse_token tok =
+  let num s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "bad token: %s" tok)
+  in
+  match tok with
+  | "crash" -> Ok Crash_worker
+  | "storm" -> Ok Evict
+  | "kill" -> Ok Kill_store
+  | "corrupt" -> Ok Corrupt_cache
+  | _ when String.length tok >= 2 && tok.[0] = 'd' -> (
+      let body = String.sub tok 1 (String.length tok - 1) in
+      match String.index_opt body ':' with
+      | None -> Error (Printf.sprintf "bad token: %s" tok)
+      | Some i ->
+          let c = String.sub body 0 i in
+          let b = String.sub body (i + 1) (String.length body - i - 1) in
+          Result.bind (num c) (fun conn ->
+              Result.bind (num b) (fun bytes -> Ok (Deliver { conn; bytes }))))
+  | _ when String.length tok >= 2 && tok.[0] = 's' ->
+      Result.map
+        (fun c -> Step c)
+        (num (String.sub tok 1 (String.length tok - 1)))
+  | _ when String.length tok >= 2 && tok.[0] = 'x' ->
+      Result.map
+        (fun c -> Close c)
+        (num (String.sub tok 1 (String.length tok - 1)))
+  | _ -> Error (Printf.sprintf "bad token: %s" tok)
+
+let of_string s =
+  let toks =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  List.fold_right
+    (fun tok acc ->
+      match acc with
+      | Error _ as e -> e
+      | Ok evs -> Result.map (fun e -> e :: evs) (parse_token tok))
+    toks (Ok [])
+
+(* Draw one schedule.  The distribution keeps delivery and stepping
+   dominant (a schedule that never steps tests nothing), sprinkling
+   enabled faults in; draws for disabled faults degrade to plain
+   steps so the event count is independent of the fault mix. *)
+let generate rng ~clients ~steps ~faults =
+  let has f = List.mem f faults in
+  let clients = max 1 clients in
+  let conn () = Random.State.int rng clients in
+  let deliver () =
+    let bytes =
+      if has Slow_reader && Random.State.bool rng then
+        1 + Random.State.int rng 8
+      else if has Oversized_batch && Random.State.int rng 10 = 0 then
+        1200 + Random.State.int rng 800
+      else 20 + Random.State.int rng 160
+    in
+    Deliver { conn = conn (); bytes }
+  in
+  let events = ref [] in
+  for _ = 1 to max 0 steps do
+    let r = Random.State.int rng 100 in
+    let ev =
+      if r < 45 then deliver ()
+      else if r < 83 then Step (conn ())
+      else if r < 87 then
+        if has Truncated_frame then Close (conn ()) else Step (conn ())
+      else if r < 90 then if has Worker_crash then Crash_worker else Step (conn ())
+      else if r < 93 then if has Evict_storm then Evict else Step (conn ())
+      else if r < 97 then if has Store_kill then Kill_store else deliver ()
+      else if has Bug_cache_corrupt then Corrupt_cache
+      else Step (conn ())
+    in
+    events := ev :: !events
+  done;
+  List.rev !events

@@ -1,0 +1,74 @@
+(** Schedules: the deterministic simulation's unit of replay.
+
+    A schedule is a finite list of events — byte deliveries, serving
+    steps, connection closes, and named fault injections — executed
+    one at a time by {!Sim}.  Everything nondeterministic about a
+    simulated run lives here: given the same configuration, case
+    number and schedule, a run is byte-identical (the harness's
+    virtual clock and in-memory channels contribute no entropy of
+    their own).
+
+    Schedules round-trip through a compact textual form
+    ({!to_string} / {!of_string}) so a failing run can be replayed
+    from the command line: the harness prints the minimized schedule
+    and [smem sim --schedule '...'] re-executes it verbatim.
+
+    {2 Fault taxonomy}
+
+    Faults come in two flavors.  {e Benign} faults model hostile but
+    survivable conditions the daemon must absorb — a worker domain
+    crashing mid-batch, a cache eviction storm, malformed or truncated
+    client frames, byte-at-a-time slow readers, oversized batches, the
+    store killed mid-append and replayed from its torn tail.  A run
+    under any mix of benign faults must satisfy every invariant; a
+    violation is a daemon bug.  {e Bug} faults ([Bug_cache_corrupt])
+    deliberately break an internal invariant so the harness can prove,
+    in its own test suite, that it catches real corruption and shrinks
+    the schedule that exposes it. *)
+
+type fault =
+  | Worker_crash  (** a worker dies mid-batch ({!Smem_serve.Sched.Worker_crashed}) *)
+  | Evict_storm  (** junk floods the verdict cache, evicting live entries *)
+  | Malformed_frame  (** scripts interleave unparseable request lines *)
+  | Truncated_frame  (** a connection closes mid-line *)
+  | Slow_reader  (** deliveries shrink to a few bytes at a time *)
+  | Oversized_batch  (** deliveries dump far more lines than one batch *)
+  | Store_kill  (** the store dies mid-append; replay from the torn tail *)
+  | Bug_cache_corrupt
+      (** {e deliberate bug}: cached verdicts are flipped in place —
+          the harness must catch the divergence *)
+
+val all_faults : fault list
+val default_faults : fault list
+(** Every benign fault — everything except {!Bug_cache_corrupt}. *)
+
+val fault_name : fault -> string
+val fault_of_name : string -> fault option
+val faults_of_string : string -> (fault list, string) result
+(** Comma-separated fault names. *)
+
+type event =
+  | Deliver of { conn : int; bytes : int }
+      (** move up to [bytes] of connection [conn]'s script onto its wire *)
+  | Step of int  (** one {!Smem_serve.Server.step} on connection [conn] *)
+  | Close of int  (** close connection [conn]'s input (mid-line closes truncate) *)
+  | Crash_worker  (** arm a worker crash for the next fanned batch *)
+  | Evict  (** flood the cache with junk entries *)
+  | Kill_store  (** kill the store mid-append, tear its tail, replay *)
+  | Corrupt_cache  (** flip every scripted cached verdict (bug fault) *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val to_string : event list -> string
+(** Space-separated tokens: [d<conn>:<bytes>] [s<conn>] [x<conn>]
+    [crash] [storm] [kill] [corrupt]. *)
+
+val of_string : string -> (event list, string) result
+(** Inverse of {!to_string}; [Error] names the offending token. *)
+
+val generate :
+  Random.State.t -> clients:int -> steps:int -> faults:fault list -> event list
+(** Draw a [steps]-event schedule over [clients] connections.  Only
+    events whose fault is enabled are drawn; disabled draws fall back
+    to plain delivery/step events.  Deterministic in the state of the
+    given PRNG. *)

@@ -1,0 +1,99 @@
+(** Deterministic simulation of the serving stack.
+
+    The harness runs the real serving code — {!Smem_serve.Server.step}
+    over {!Smem_serve.Frames}, a real {!Smem_cache.Cache}, a real
+    on-disk {!Smem_serve.Store} — with every source of nondeterminism
+    replaced by a seam: in-memory byte channels instead of sockets, the
+    {!Smem_serve.Sched.inline} scheduler instead of worker domains, a
+    virtual clock instead of wall time.  A case is then a pure function
+    of [(config, seed, case, schedule)]: two runs produce byte-identical
+    event logs, which {!report.digest} witnesses.
+
+    Each case scripts a few clients' worth of NDJSON requests, executes
+    a {!Schedule} (deliveries, serving steps, closes, fault
+    injections), and checks invariants after every event:
+
+    - the serving stack never raises;
+    - every response arrives in position with the right id — junk
+      lines answer [bad-request], unknown models answer
+      [unknown-model], a crashed batch answers [internal] errors;
+    - every verdict agrees with a fresh recompute (cache hits
+      included — cached corruption cannot hide);
+    - store records always agree with fresh recomputes, and a store
+      killed mid-append replays to exactly the pre-kill verdict set
+      minus at most the torn final record;
+    - at the end of the run every delivered line has been answered.
+
+    A failing schedule is minimized with {!Smem_fuzz.Shrink.list} and
+    reported as a replayable [--seed]/[--case]/[--schedule] triple
+    ({!replay_command}).
+
+    Metrics: [sim.cases], [sim.events], [sim.steps], [sim.responses],
+    [sim.failures], [sim.shrink_steps], [sim.fault.<name>].  Each
+    serving step runs under a [sim.step] trace span. *)
+
+type config = {
+  clients : int;  (** simulated connections per case *)
+  requests_per_client : int;  (** scripted requests per connection *)
+  batch : int;  (** serving batch bound, as in [smem serve --batch] *)
+  cache_capacity : int;  (** verdict cache capacity (small: evictions matter) *)
+  steps : int;  (** schedule length drawn per case *)
+  faults : Schedule.fault list;  (** enabled fault injections *)
+  store : bool;  (** attach a persistent store (a temp file per run) *)
+}
+
+val default : config
+(** 3 clients, 5 requests each, batch 4, capacity 64, 80-event
+    schedules, every benign fault, store attached. *)
+
+type failure = {
+  case : int;
+  seed : int;
+  reason : string;  (** first invariant violated, human-readable *)
+  schedule : Schedule.event list;  (** minimized *)
+  shrink_steps : int;  (** accepted shrink reductions *)
+}
+
+type report = {
+  case : int;
+  events : int;  (** schedule events executed (after shrinking, if any) *)
+  responses : int;  (** responses verified *)
+  digest : string;
+      (** hex digest of the full event log — equal digests across two
+          runs of the same (config, seed, case) witness determinism *)
+  log : string;  (** the full event log, one line per event/response *)
+  failure : failure option;
+}
+
+type outcome = {
+  seed : int;
+  cases : int;
+  events : int;
+  responses : int;
+  failures : failure list;
+  reports : report list;  (** in case order, independent of [jobs] *)
+}
+
+val generate_schedule : config -> seed:int -> case:int -> Schedule.event list
+(** The schedule {!run_case} would draw for this case. *)
+
+val run_case : ?schedule:Schedule.event list -> config -> seed:int -> case:int -> report
+(** Run one case: draw (or take) its schedule, execute it with the
+    invariant checks, and on failure shrink the schedule to a minimal
+    failing one (re-running the case per candidate) and report it. *)
+
+val run :
+  ?jobs:int ->
+  ?schedule:Schedule.event list ->
+  config ->
+  seed:int ->
+  cases:int list ->
+  outcome
+(** A campaign over [cases].  [jobs > 1] fans cases over worker
+    domains; each case is self-contained (own channels, cache, store
+    file, PRNG streams), so the outcome — reports in case order — is
+    identical to a sequential run. *)
+
+val replay_command : config -> failure -> string
+(** The [smem sim ...] invocation that re-executes exactly this failing
+    (shrunk) schedule. *)

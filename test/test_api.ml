@@ -185,7 +185,10 @@ let error_code_strings () =
       | None -> Alcotest.failf "code %s did not parse back"
                   (Response.error_code_to_string c))
     Response.
-      [ Bad_request; Unknown_model; Unknown_test; Uncertifiable; Rejected ];
+      [
+        Bad_request; Unknown_model; Unknown_test; Uncertifiable; Rejected;
+        Internal;
+      ];
   check Alcotest.bool "unknown code" true
     (Response.error_code_of_string "flaky" = None)
 

@@ -1,0 +1,269 @@
+(* The deterministic simulation harness, tested on itself:
+   determinism witnesses, the torn-tail store regression the harness
+   found, fault survival, bug detection with schedule shrinking, and
+   the generic list shrinker underneath it. *)
+
+module Sim = Smem_sim.Sim
+module Schedule = Smem_sim.Schedule
+module Frames = Smem_serve.Frames
+module Store = Smem_serve.Store
+module Cache = Smem_cache.Cache
+module Shrink = Smem_fuzz.Shrink
+
+let cfg ?(faults = Schedule.default_faults) ?(store = true) () =
+  { Sim.default with Sim.faults; store }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+
+let test_schedule_roundtrip () =
+  let rng = Random.State.make [| 1; 2 |] in
+  for _ = 1 to 25 do
+    let evs =
+      Schedule.generate rng ~clients:3 ~steps:50 ~faults:Schedule.all_faults
+    in
+    let s = Schedule.to_string evs in
+    match Schedule.of_string s with
+    | Error e -> Alcotest.fail e
+    | Ok evs' ->
+        Alcotest.(check bool) "round trip" true (evs = evs');
+        Alcotest.(check string) "stable" s (Schedule.to_string evs')
+  done
+
+let test_schedule_rejects_garbage () =
+  (match Schedule.of_string "d0:12 bogus s1" with
+  | Ok _ -> Alcotest.fail "accepted a bogus token"
+  | Error e -> Alcotest.(check bool) "names the token" true (contains e "bogus"));
+  match Schedule.faults_of_string "worker-crash,nope" with
+  | Ok _ -> Alcotest.fail "accepted an unknown fault"
+  | Error e -> Alcotest.(check bool) "names the fault" true (contains e "nope")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the harness's whole reason to exist                    *)
+
+let cases n = List.init n (fun i -> i + 1)
+
+let test_determinism () =
+  let a = Sim.run (cfg ()) ~seed:7 ~cases:(cases 10) in
+  let b = Sim.run (cfg ()) ~seed:7 ~cases:(cases 10) in
+  Alcotest.(check int) "clean run" 0 (List.length a.Sim.failures);
+  List.iter2
+    (fun (x : Sim.report) (y : Sim.report) ->
+      Alcotest.(check string) "digest identical" x.Sim.digest y.Sim.digest;
+      Alcotest.(check string) "event log byte-identical" x.Sim.log y.Sim.log)
+    a.Sim.reports b.Sim.reports
+
+let test_determinism_across_jobs () =
+  let seq = Sim.run ~jobs:1 (cfg ()) ~seed:13 ~cases:(cases 8) in
+  let par = Sim.run ~jobs:4 (cfg ()) ~seed:13 ~cases:(cases 8) in
+  List.iter2
+    (fun (x : Sim.report) (y : Sim.report) ->
+      Alcotest.(check int) "case order preserved" x.Sim.case y.Sim.case;
+      Alcotest.(check string) "parallel digest identical" x.Sim.digest
+        y.Sim.digest)
+    seq.Sim.reports par.Sim.reports
+
+(* ------------------------------------------------------------------ *)
+(* Benign faults must be survivable                                    *)
+
+let test_each_fault_clean () =
+  List.iter
+    (fun fault ->
+      let o = Sim.run (cfg ~faults:[ fault ] ()) ~seed:9 ~cases:(cases 5) in
+      match o.Sim.failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "fault %s: case %d: %s" (Schedule.fault_name fault)
+            f.Sim.case f.Sim.reason)
+    Schedule.default_faults
+
+let test_worker_crash_in_position () =
+  (* five requests land at once, the worker crashes mid-batch: the
+     session answers internal errors in position and keeps going *)
+  let schedule =
+    [
+      Schedule.Deliver { conn = 0; bytes = 10_000 };
+      Schedule.Crash_worker;
+      Schedule.Step 0;
+    ]
+  in
+  let c = cfg ~faults:[ Schedule.Worker_crash ] () in
+  let r = Sim.run_case ~schedule c ~seed:5 ~case:2 in
+  (match r.Sim.failure with
+  | Some f -> Alcotest.failf "crash not survived: %s" f.Sim.reason
+  | None -> ());
+  Alcotest.(check bool) "the crash actually fired" true
+    (contains r.Sim.log "worker crashed")
+
+let test_kill_mid_append_replay () =
+  (* Regression: compute (store appends), kill the store mid-append
+     (torn tail), then compute more.  Store.attach used to append the
+     next record straight onto the torn bytes, splicing two records
+     into garbage — found by this harness, fixed by sealing the tail. *)
+  let schedule =
+    [
+      Schedule.Deliver { conn = 0; bytes = 10_000 };
+      Schedule.Step 0;
+      Schedule.Kill_store;
+      Schedule.Deliver { conn = 1; bytes = 10_000 };
+    ]
+  in
+  for case = 1 to 10 do
+    let r = Sim.run_case ~schedule (cfg ()) ~seed:11 ~case in
+    match r.Sim.failure with
+    | None -> ()
+    | Some f -> Alcotest.failf "case %d: %s" case f.Sim.reason
+  done
+
+let test_store_heals_torn_tail () =
+  (* the same regression, at the Store level *)
+  let path = Filename.temp_file "smem-test" ".store" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c1 = Cache.create ~capacity:8 () in
+      let s1 = Store.attach ~path c1 in
+      Cache.add c1 ~digest:"aaaa" ~model:"sc" true;
+      Store.close s1;
+      (* tear the tail mid-append *)
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub content 0 (String.length content - 3)));
+      let c2 = Cache.create ~capacity:8 () in
+      let s2 = Store.attach ~path c2 in
+      Alcotest.(check int) "torn record skipped" 0 (Store.replayed s2);
+      Cache.add c2 ~digest:"bbbb" ~model:"sc" false;
+      Store.close s2;
+      let c3 = Cache.create ~capacity:8 () in
+      let s3 = Store.attach ~path c3 in
+      Alcotest.(check int) "record appended after the torn tail survives" 1
+        (Store.replayed s3);
+      Store.close s3)
+
+(* ------------------------------------------------------------------ *)
+(* A deliberate bug must be caught, shrunk, and replayable             *)
+
+let test_bug_caught_and_shrunk () =
+  let c = cfg ~faults:[ Schedule.Bug_cache_corrupt ] () in
+  let schedule =
+    [
+      Schedule.Deliver { conn = 0; bytes = 10_000 };
+      Schedule.Corrupt_cache;
+    ]
+  in
+  let r = Sim.run_case ~schedule c ~seed:3 ~case:1 in
+  match r.Sim.failure with
+  | None -> Alcotest.fail "corrupted cache went undetected"
+  | Some f ->
+      Alcotest.(check bool) "divergence named" true
+        (contains f.Sim.reason "diverged");
+      Alcotest.(check bool) "schedule minimized, non-empty" true
+        (f.Sim.schedule <> [] && List.length f.Sim.schedule <= 2);
+      (* the minimized schedule must reproduce the failure verbatim *)
+      let r2 = Sim.run_case ~schedule:f.Sim.schedule c ~seed:3 ~case:1 in
+      Alcotest.(check bool) "shrunk schedule still fails" true
+        (r2.Sim.failure <> None);
+      Alcotest.(check bool) "replay command printable" true
+        (contains (Sim.replay_command c f) "--schedule")
+
+let test_bug_caught_in_campaign () =
+  (* generated schedules with the bug fault enabled must trip it *)
+  let c = cfg ~faults:(Schedule.Bug_cache_corrupt :: Schedule.default_faults) () in
+  let o = Sim.run c ~seed:42 ~cases:(cases 40) in
+  Alcotest.(check bool) "at least one case caught the bug" true
+    (o.Sim.failures <> [])
+
+(* ------------------------------------------------------------------ *)
+(* The generic list shrinker                                           *)
+
+let test_shrink_list () =
+  let r, steps = Shrink.list ~keep:(List.mem 7) (List.init 10 (fun i -> i + 1)) in
+  Alcotest.(check (list int)) "single witness survives" [ 7 ] r;
+  Alcotest.(check bool) "steps counted" true (steps > 0);
+  let r2, s2 = Shrink.list ~keep:(fun _ -> false) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "failing input unchanged" [ 1; 2; 3 ] r2;
+  Alcotest.(check int) "no steps on failing input" 0 s2;
+  let r3, _ =
+    Shrink.list ~keep:(fun l -> List.length l >= 3) (List.init 16 Fun.id)
+  in
+  Alcotest.(check int) "stops at the floor" 3 (List.length r3);
+  let r4, s4 = Shrink.list ~keep:(fun _ -> true) [] in
+  Alcotest.(check (list int)) "empty stays empty" [] r4;
+  Alcotest.(check int) "no steps on empty" 0 s4
+
+(* ------------------------------------------------------------------ *)
+(* The frame reader over an in-memory source                           *)
+
+let test_frames_chunked_source () =
+  (* one byte per read: line reassembly must span reads *)
+  let data = "alpha\nbeta\ngamma" in
+  let pos = ref 0 in
+  let source =
+    {
+      Frames.read =
+        (fun b off _len ->
+          if !pos >= String.length data then 0
+          else begin
+            Bytes.set b off data.[!pos];
+            incr pos;
+            1
+          end);
+      readable = (fun () -> true);
+    }
+  in
+  let fr = Frames.of_source source in
+  Alcotest.(check (option string)) "first" (Some "alpha") (Frames.next fr);
+  Alcotest.(check (option string)) "second" (Some "beta") (Frames.next fr);
+  Alcotest.(check (option string)) "unterminated tail at EOF" (Some "gamma")
+    (Frames.next fr);
+  Alcotest.(check (option string)) "end" None (Frames.next fr)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "round trip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_schedule_rejects_garbage;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, identical logs" `Quick
+            test_determinism;
+          Alcotest.test_case "parallel equals sequential" `Quick
+            test_determinism_across_jobs;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "each benign fault survivable" `Slow
+            test_each_fault_clean;
+          Alcotest.test_case "worker crash answered in position" `Quick
+            test_worker_crash_in_position;
+          Alcotest.test_case "store kill mid-append replays" `Quick
+            test_kill_mid_append_replay;
+          Alcotest.test_case "store heals a torn tail" `Quick
+            test_store_heals_torn_tail;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "deliberate bug caught and shrunk" `Quick
+            test_bug_caught_and_shrunk;
+          Alcotest.test_case "deliberate bug caught in campaign" `Slow
+            test_bug_caught_in_campaign;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "generic list shrinker" `Quick test_shrink_list ]
+      );
+      ( "frames",
+        [
+          Alcotest.test_case "chunked in-memory source" `Quick
+            test_frames_chunked_source;
+        ] );
+    ]
