@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke corpus fmt fmt-check ci clean
 
 all: build
 
@@ -56,6 +56,18 @@ serve-smoke: build
 serve-load: build
 	python3 scripts/serve_load.py --exe _build/default/bin/smem.exe
 
+# The standard test load: generate a deterministic 500-test corpus
+# (twice — the artifacts must be byte-identical), replay it through
+# the TCP daemon (throughput + warm-restart gates), and ride it along
+# a fuzz campaign through the lattice oracle.
+corpus: build
+	dune exec bin/smem.exe -- corpus generate --seed 42 --count 500 -o _build/corpus-500.txt
+	dune exec bin/smem.exe -- corpus generate --seed 42 --count 500 -o _build/corpus-500.again.txt
+	cmp _build/corpus-500.txt _build/corpus-500.again.txt
+	python3 scripts/serve_load.py --exe _build/default/bin/smem.exe \
+	  --clients 2 --repeat 2 --corpus _build/corpus-500.txt
+	dune exec bin/smem.exe -- fuzz --seed 42 --count 100 --corpus _build/corpus-500.txt
+
 # Deterministic simulation of the serving stack: seeded schedules,
 # every benign fault enabled, zero invariant violations expected.
 # Failing schedules are shrunk and printed as replayable commands.
@@ -71,7 +83,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke certs serve-smoke serve-load sim-smoke bench-figures
+ci: build test examples fuzz-smoke certs serve-smoke serve-load corpus sim-smoke bench-figures
 
 clean:
 	dune clean

@@ -414,6 +414,80 @@ let cache_section () =
     (all_hot && identical)
     (mark (all_hot && identical))
 
+(* The same cold/warm determinism gate over a generated corpus
+   (--corpus FILE, produced by `smem corpus generate`): every test is
+   served as an inline Check request, the warm pass must answer every
+   cell from the cache with verdicts identical to the cold pass.  The
+   generated corpus is the standard serving load — this is where it
+   gates the bench. *)
+let corpus_cache_section tests =
+  Format.printf
+    "@.== Verdict cache: cold vs. warm pass over the generated corpus (%d \
+     tests) ==@."
+    (List.length tests);
+  let cache = Smem_cache.Cache.create ~capacity:65536 () in
+  let service = Smem_serve.Service.create ~cache ~jobs:1 () in
+  let reqs =
+    List.map
+      (fun t ->
+        Smem_api.Request.Check
+          {
+            test = Smem_api.Request.Inline (Smem_litmus.Print.to_string t);
+            models = [];
+          })
+      tests
+  in
+  let key (v : Smem_api.Verdict.t) =
+    ( v.Smem_api.Verdict.subject,
+      v.Smem_api.Verdict.authority,
+      v.Smem_api.Verdict.status )
+  in
+  let pass () =
+    let t0 = Clock.now () in
+    let hits = ref 0 in
+    let verdicts =
+      List.concat_map
+        (fun req ->
+          let resp = Smem_serve.Service.handle service req in
+          hits := !hits + resp.Smem_api.Response.cached;
+          match resp.Smem_api.Response.payload with
+          | Smem_api.Response.Verdicts vs -> List.map key vs
+          | _ -> [])
+        reqs
+    in
+    (verdicts, !hits, Clock.elapsed_ns t0)
+  in
+  let cold, cold_hits, cold_ns = pass () in
+  let warm, warm_hits, warm_ns = pass () in
+  let cells = List.length cold in
+  let identical = cells > 0 && List.equal ( = ) cold warm in
+  let all_hot = warm_hits = cells in
+  record "corpus_cache"
+    (Json.Obj
+       [
+         ("tests", Json.Int (List.length tests));
+         ("cells", Json.Int cells);
+         ("cold_ns", Json.Int cold_ns);
+         ("warm_ns", Json.Int warm_ns);
+         ("cold_hits", Json.Int cold_hits);
+         ("warm_hits", Json.Int warm_hits);
+         ("warm_all_cached", Json.Bool all_hot);
+         ("verdicts_identical", Json.Bool identical);
+         ( "speedup_permille",
+           Json.Int (if warm_ns > 0 then 1000 * cold_ns / warm_ns else 0) );
+       ]);
+  Format.printf
+    "  cold: %8.2f ms (%d/%d cells from cache)@.  warm: %8.2f ms (%d/%d cells \
+     from cache)  speedup %.1fx@."
+    (float cold_ns /. 1e6)
+    cold_hits cells
+    (float warm_ns /. 1e6)
+    warm_hits cells
+    (if warm_ns > 0 then float cold_ns /. float warm_ns else 0.);
+  Format.printf "  warm pass fully cached, verdicts identical: %b %s@."
+    (all_hot && identical)
+    (mark (all_hot && identical))
+
 let fig1_claims ~force_mismatch =
   (* --force-mismatch inverts the paper's Figure 1 expectations so the
      exit-code gate itself is testable: the checkers still answer
@@ -421,7 +495,7 @@ let fig1_claims ~force_mismatch =
   let flip = if force_mismatch then not else Fun.id in
   [ ("tso", flip true); ("sc", flip false) ]
 
-let regenerate_figures ~quick ~force_mismatch =
+let regenerate_figures ~quick ~force_mismatch ~corpus =
   Format.printf
     "====================================================================@.";
   Format.printf
@@ -455,7 +529,8 @@ let regenerate_figures ~quick ~force_mismatch =
     search_stats_report ();
     parallel_speedup ();
     random_schedule_series ()
-  end
+  end;
+  match corpus with [] -> () | tests -> corpus_cache_section tests
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: bechamel benchmarks                                         *)
@@ -710,19 +785,33 @@ let () =
   let figures_only = ref false in
   let quick = ref false in
   let force_mismatch = ref false in
+  let corpus_file = ref "" in
   let spec =
     [
       ("--out", Arg.Set_string out, "FILE  Machine-readable results (default BENCH_smem.json)");
       ("--figures-only", Arg.Set figures_only, "  Skip the bechamel timing part");
       ("--quick", Arg.Set quick, "  Figures 1-4 claims only (implies --figures-only)");
       ("--force-mismatch", Arg.Set force_mismatch, "  Invert Figure 1 expectations (tests the exit-code gate)");
+      ("--corpus", Arg.Set_string corpus_file,
+       "FILE  Also gate a cold/warm serving pass over this generated corpus \
+        (`smem corpus generate`)");
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--out FILE] [--figures-only] [--quick] [--force-mismatch]";
+    "bench [--out FILE] [--figures-only] [--quick] [--force-mismatch] \
+     [--corpus FILE]";
+  let corpus =
+    if !corpus_file = "" then []
+    else
+      match Smem_corpus.Corpus.load !corpus_file with
+      | Ok tests -> tests
+      | Error e ->
+          Format.eprintf "error: %s: %s@." !corpus_file e;
+          exit 2
+  in
   let figures_only = !figures_only || !quick in
-  regenerate_figures ~quick:!quick ~force_mismatch:!force_mismatch;
+  regenerate_figures ~quick:!quick ~force_mismatch:!force_mismatch ~corpus;
   if not figures_only then begin
     let results = benchmark () in
     print_results results

@@ -262,6 +262,10 @@ let load_program name ~labeled ~n =
   | "dekker" -> Ok (Smem_lang.Programs.dekker ~labeled ())
   | "naive" -> Ok (Smem_lang.Programs.naive_flags ~labeled ())
   | "spinlock" -> Ok (Smem_lang.Programs.tas_spinlock ())
+  | "spinlock-stress" -> Ok (Smem_lang.Programs.spinlock_stress ~nprocs:n ())
+  | "mp" -> Ok (Smem_lang.Programs.mp ~labeled ())
+  | "sb" -> Ok (Smem_lang.Programs.sb ())
+  | "seqlock" -> Ok (Smem_lang.Programs.seqlock ~labeled ())
   | path when Sys.file_exists path -> (
       match Smem_lang.Parse_prog.program_of_string (read_file path) with
       | Ok p -> Ok p
@@ -270,7 +274,7 @@ let load_program name ~labeled ~n =
   | other ->
       Error
         (Printf.sprintf
-           "no algorithm or program file named %S (known: bakery, peterson,             dekker, naive, spinlock)"
+           "no algorithm or program file named %S (known: bakery, peterson,             dekker, naive, spinlock, spinlock-stress, mp, sb, seqlock)"
            other)
 
 (* ------------------------------------------------------------------ *)
@@ -373,10 +377,64 @@ let corpus_cmd =
     | None -> ());
     if bad <> [] then exit 1
   in
-  Cmd.v
-    (Cmd.info "corpus" ~doc:"Run the built-in litmus corpus.")
+  let builtin_term =
     Term.(const run $ models_arg $ jobs_arg $ obs_term $ certify_arg
           $ cert_format_arg $ cache_arg)
+  in
+  let generate_cmd =
+    let seed =
+      Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generation seed.")
+    in
+    let count =
+      Arg.(
+        value & opt int 1000
+        & info [ "count" ] ~doc:"Number of deduplicated tests to generate.")
+    in
+    let max_ops =
+      Arg.(
+        value & opt int 12
+        & info [ "max-ops" ]
+            ~doc:
+              "Largest history kept; longer executions contribute their \
+               prefixes instead.")
+    in
+    let expect =
+      Arg.(
+        value & opt_all model_conv []
+        & info [ "expect" ] ~docv:"MODEL"
+            ~doc:
+              "Stamp each test with this model's computed verdict as an \
+               expect line (repeatable).")
+    in
+    let out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"FILE"
+            ~doc:"Write the artifact to $(docv) instead of stdout.")
+    in
+    let run seed count max_ops expect out =
+      let tests = Smem_corpus.Corpus.generate ~seed ~count ~max_ops ~expect () in
+      let s = Smem_corpus.Corpus.to_string ~seed tests in
+      match out with
+      | None -> print_string s
+      | Some path ->
+          let oc = open_out_bin path in
+          output_string oc s;
+          close_out oc;
+          Format.eprintf "%d tests -> %s@." (List.length tests) path
+    in
+    Cmd.v
+      (Cmd.info "generate"
+         ~doc:
+           "Generate a deduplicated smem-corpus/1 litmus artifact from \
+            program executions (deterministic in --seed).")
+      Term.(const run $ seed $ count $ max_ops $ expect $ out)
+  in
+  Cmd.group ~default:builtin_term
+    (Cmd.info "corpus"
+       ~doc:"Run the built-in litmus corpus, or generate one from programs.")
+    [ generate_cmd ]
 
 let explain_cmd =
   let source =
@@ -470,7 +528,7 @@ let mutex_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ALGORITHM"
-          ~doc:"bakery | peterson | dekker | naive | spinlock, or a .smem file.")
+          ~doc:"bakery | peterson | dekker | naive | spinlock | spinlock-stress | mp | sb | seqlock, or a .smem file.")
   in
   let machine =
     Arg.(
@@ -485,7 +543,23 @@ let mutex_cmd =
       & info [ "unlabeled" ]
           ~doc:"Mark no operation as synchronization (ordinary accesses only).")
   in
-  let run alg machine n unlabeled =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Report the DPOR reduction counters (states, transitions, ample \
+             hits, sleep and covering skips) after the verdict.")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Also run the unreduced enumerator and report its transition \
+             count next to the DPOR one (the differential baseline).")
+  in
+  let run alg machine n unlabeled stats naive =
     let program =
       match load_program alg ~labeled:(not unlabeled) ~n with
       | Ok p -> p
@@ -493,21 +567,39 @@ let mutex_cmd =
           Format.eprintf "error: %s@." msg;
           exit 2
     in
-    match Smem_lang.Explore.check_mutex machine program with
+    let verdict, dstats = Smem_lang.Explore.check_mutex_stats machine program in
+    let report () =
+      if stats then
+        Format.printf "%a@." Smem_lang.Dpor.pp_stats dstats;
+      if naive then begin
+        let _, ntrans = Smem_lang.Explore.check_mutex_naive machine program in
+        Format.printf
+          "naive enumeration: %d transitions (%.1fx the reduced %d)@." ntrans
+          (float_of_int ntrans
+          /. float_of_int (max 1 dstats.Smem_lang.Dpor.transitions))
+          dstats.Smem_lang.Dpor.transitions
+      end
+    in
+    match verdict with
     | Smem_lang.Explore.Safe states ->
-        Format.printf "mutual exclusion HOLDS (%d states explored)@." states
+        Format.printf "mutual exclusion HOLDS (%d states explored)@." states;
+        report ()
     | Smem_lang.Explore.Violation trace ->
         Format.printf "mutual exclusion VIOLATED; schedule:@.";
         List.iter (fun line -> Format.printf "  %s@." line) trace;
+        report ();
         exit 1
     | Smem_lang.Explore.State_limit ->
         Format.printf "state limit reached (no violation found so far)@.";
+        report ();
         exit 3
   in
   Cmd.v
     (Cmd.info "mutex"
-       ~doc:"Exhaustively explore a mutual-exclusion algorithm on a machine.")
-    Term.(const run $ alg $ machine $ n $ unlabeled)
+       ~doc:
+         "Exhaustively explore a mutual-exclusion algorithm on a machine \
+          (sleep-set DPOR; --naive for the unreduced baseline).")
+    Term.(const run $ alg $ machine $ n $ unlabeled $ stats $ naive)
 
 let distinguish_cmd =
   let model_pos n doc =
@@ -584,7 +676,7 @@ let liveness_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ALGORITHM"
-          ~doc:"bakery | peterson | dekker | naive | spinlock, or a .smem file.")
+          ~doc:"bakery | peterson | dekker | naive | spinlock | spinlock-stress | mp | sb | seqlock, or a .smem file.")
   in
   let machine =
     Arg.(
@@ -630,7 +722,7 @@ let races_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ALGORITHM"
-          ~doc:"bakery | peterson | dekker | naive | spinlock, or a .smem file.")
+          ~doc:"bakery | peterson | dekker | naive | spinlock | spinlock-stress | mp | sb | seqlock, or a .smem file.")
   in
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Processors (bakery only).") in
   let unlabeled =
@@ -939,9 +1031,29 @@ let fuzz_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Write each shrunk counterexample there as a .litmus file.")
   in
+  let corpus_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Replay a generated corpus ($(b,smem corpus generate)) alongside \
+             the random cases: case $(i,i) additionally runs corpus test \
+             $(i,i) mod $(i,n) through the lattice oracle.")
+  in
   let run seed count jobs max_procs max_ops nlocs maxv labels no_machines
-      lang_every out cert_format obs =
+      lang_every out corpus_file cert_format obs =
     setup_obs obs;
+    let corpus =
+      match corpus_file with
+      | None -> []
+      | Some path -> (
+          match Smem_corpus.Corpus.load path with
+          | Ok tests -> tests
+          | Error e ->
+              Format.eprintf "error: %s: %s@." path e;
+              exit 2)
+    in
     if obs.stats then
       at_exit (fun () ->
           Format.printf "@.%a@." Smem_core.Stats.pp_fuzz
@@ -959,6 +1071,7 @@ let fuzz_cmd =
         labels;
         machines = not no_machines;
         lang_every;
+        corpus;
       }
     in
     let outcome =
@@ -1008,7 +1121,8 @@ let fuzz_cmd =
           counterexamples.")
     Term.(
       const run $ seed $ count $ jobs_arg $ max_procs $ max_ops $ nlocs $ maxv
-      $ labels $ no_machines $ lang_every $ out $ cert_format_arg $ obs_term)
+      $ labels $ no_machines $ lang_every $ out $ corpus_file $ cert_format_arg
+      $ obs_term)
 
 let cert_cmd =
   let files =
@@ -1425,21 +1539,52 @@ let api_cmd =
   in
   let corpus_requests =
     (* One Check request line per corpus test: the input half of the CI
-       serve smoke test, and a convenient seed for manual sessions. *)
-    let run models =
-      List.iteri
-        (fun i (t : Test.t) ->
-          print_string
-            (Wire.request_line ~id:(i + 1)
-               (Request.Check { test = Request.Named t.Test.name; models })))
-        Corpus.all
+       serve smoke test, and a convenient seed for manual sessions.
+       With --corpus the tests come from a generated smem-corpus/1
+       artifact and travel inline (the daemon has no registry of
+       generated names). *)
+    let corpus_file =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "corpus" ] ~docv:"FILE"
+            ~doc:
+              "Read tests from a generated smem-corpus/1 artifact \
+               ($(b,smem corpus generate)) instead of the built-in corpus.")
+    in
+    let run models corpus_file =
+      match corpus_file with
+      | None ->
+          List.iteri
+            (fun i (t : Test.t) ->
+              print_string
+                (Wire.request_line ~id:(i + 1)
+                   (Request.Check { test = Request.Named t.Test.name; models })))
+            Corpus.all
+      | Some path -> (
+          match Smem_corpus.Corpus.load path with
+          | Error msg ->
+              Format.eprintf "error: %s@." msg;
+              exit 2
+          | Ok tests ->
+              List.iteri
+                (fun i (t : Test.t) ->
+                  print_string
+                    (Wire.request_line ~id:(i + 1)
+                       (Request.Check
+                          {
+                            test =
+                              Request.Inline (Smem_litmus.Print.to_string t);
+                            models;
+                          })))
+                tests)
     in
     Cmd.v
       (Cmd.info "corpus-requests"
          ~doc:
            "Emit one smem-api/1 Check request per corpus test as \
             newline-delimited JSON (pipe into $(b,smem serve)).")
-      Term.(const run $ models_opt)
+      Term.(const run $ models_opt $ corpus_file)
   in
   Cmd.group
     (Cmd.info "api" ~doc:"Produce and inspect smem-api/1 wire traffic.")

@@ -8,6 +8,7 @@ type outcome = {
   histories : int;
   machine_runs : int;
   lattice_checks : int;
+  corpus_replays : int;
   violations : Oracle.violation list;
   certified : int;
   cert_failures : string list;
@@ -19,6 +20,7 @@ let empty =
     histories = 0;
     machine_runs = 0;
     lattice_checks = 0;
+    corpus_replays = 0;
     violations = [];
     certified = 0;
     cert_failures = [];
@@ -85,15 +87,29 @@ let run_case ~service (c : Gen.config) i =
         acc Machines.all
     end
   in
-  if c.machines && c.lang_every > 0 && i mod c.lang_every = 0 then begin
-    let program = Gen.lang_program c ~rand in
-    List.fold_left
-      (fun acc machine ->
-        let h, _violated = Smem_lang.Explore.run_random machine program ~rand in
-        check_machine_trace ~service ~case:i acc machine h)
-      acc Machines.all
-  end
-  else acc
+  let acc =
+    if c.machines && c.lang_every > 0 && i mod c.lang_every = 0 then begin
+      let program = Gen.lang_program c ~rand in
+      List.fold_left
+        (fun acc machine ->
+          let h, _violated =
+            Smem_lang.Explore.run_random machine program ~rand
+          in
+          check_machine_trace ~service ~case:i acc machine h)
+        acc Machines.all
+    end
+    else acc
+  in
+  (* Corpus replay: the standard load rides along the random cases, one
+     test per case in round-robin, through the same lattice oracle (a
+     corpus history that breaks a Figure-5 containment is exactly as
+     reportable as a generated one). *)
+  match c.corpus with
+  | [] -> acc
+  | corpus ->
+      let t = List.nth corpus (i mod List.length corpus) in
+      let acc = check_history ~service ~case:i acc t.Smem_litmus.Test.history in
+      { acc with corpus_replays = acc.corpus_replays + 1 }
 
 let merge a b =
   {
@@ -101,6 +117,7 @@ let merge a b =
     histories = a.histories + b.histories;
     machine_runs = a.machine_runs + b.machine_runs;
     lattice_checks = a.lattice_checks + b.lattice_checks;
+    corpus_replays = a.corpus_replays + b.corpus_replays;
     violations = a.violations @ b.violations;
     certified = a.certified + b.certified;
     cert_failures = a.cert_failures @ b.cert_failures;
@@ -125,9 +142,10 @@ let pp_summary ppf o =
     "@[<v>fuzz campaign: %d case(s), %d history(ies) checked@,\
      machine replays        %d@,\
      containment checks     %d@,\
+     corpus replays         %d@,\
      oracle violations      %d@,\
      certificates verified  %d (%d kernel rejection(s))@]"
-    o.cases o.histories o.machine_runs o.lattice_checks
+    o.cases o.histories o.machine_runs o.lattice_checks o.corpus_replays
     (List.length o.violations)
     o.certified
     (List.length o.cert_failures)

@@ -11,7 +11,10 @@
       plus the lattice oracle on each recorded trace;
     + every [c.lang_every]-th case, additionally compiles a random
       structured [Smem_lang] program, runs it on every machine, and
-      applies the same two oracles to the recorded traces.
+      applies the same two oracles to the recorded traces;
+    + when [c.corpus] is non-empty, additionally replays the history of
+      corpus test [i mod length] through the lattice oracle — the
+      generated corpus ([smem corpus generate]) as the standard load.
 
     Cases are independent, so they fan out over [c.jobs] worker domains
     ({!Smem_parallel.Pool}); verdicts, violation order and shrink
@@ -22,6 +25,7 @@ type outcome = {
   histories : int;  (** histories checked, all sources *)
   machine_runs : int;  (** machine random-schedule replays *)
   lattice_checks : int;  (** containment pairs evaluated *)
+  corpus_replays : int;  (** corpus tests replayed as standard load *)
   violations : Oracle.violation list;  (** in case order *)
   certified : int;
       (** violation certificates re-verified by {!Smem_cert.Kernel} *)

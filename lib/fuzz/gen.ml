@@ -17,6 +17,7 @@ type config = {
   labels : labels;
   machines : bool;
   lang_every : int;
+  corpus : Smem_litmus.Test.t list;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     labels = `Separated;
     machines = true;
     lang_every = 3;
+    corpus = [];
   }
 
 let loc_pool = [| "x"; "y"; "z"; "u"; "v"; "w" |]

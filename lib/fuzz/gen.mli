@@ -28,6 +28,11 @@ type config = {
   lang_every : int;
       (** additionally run a random [Smem_lang] program on every
           machine each [lang_every]-th case; [0] disables *)
+  corpus : Smem_litmus.Test.t list;
+      (** standard load: case [i] additionally replays the history of
+          test [i mod length] through the lattice oracle, so a corpus
+          file ([smem corpus generate]) rides along every campaign;
+          empty disables *)
 }
 
 val default : config

@@ -24,19 +24,32 @@ let describe_action thread_id = function
 
 exception Found of string list
 
-let check_mutex ?(max_states = 2_000_000) ?(fuel = 10_000)
-    (module M : Smem_machine.Machine_sig.MACHINE) program =
+(* The unreduced explorer: every enabled transition of every reachable
+   state.  Kept as the differential oracle for the DPOR-backed
+   {!check_mutex} and for the pinned state/transition-count regression
+   tests; [max_transitions] bounds the work so that [State_limit]
+   accounts for explored transitions, not just distinct states. *)
+let check_mutex_naive ?(max_states = 2_000_000) ?(max_transitions = 20_000_000)
+    ?(fuel = 10_000) (module M : Smem_machine.Machine_sig.MACHINE) program =
   let layout = Ast.layout program in
   let nthreads = Array.length program.Ast.threads in
   let visited = Hashtbl.create 65_537 in
   let states = ref 0 in
+  let transitions = ref 0 in
   let limit_hit = ref false in
   let rec explore machine threads path =
-    let key = (machine, Array.map (fun t -> (t.env, t.cont, t.in_cs)) threads) in
+    incr transitions;
+    let key =
+      (* Digest the deep state: [Hashtbl.hash] only samples a bounded
+         prefix of the structure, which degenerates into mass collisions
+         (and quadratic bucket scans) on big machine states. *)
+      Dpor.digest_key (machine, Array.map (fun t -> (t.env, t.cont, t.in_cs)) threads)
+    in
     if Hashtbl.mem visited key || !limit_hit then ()
     else begin
       incr states;
-      if !states > max_states then limit_hit := true
+      if !states > max_states || !transitions > max_transitions then
+        limit_hit := true
       else begin
         Hashtbl.add visited key ();
         let step_thread i =
@@ -95,12 +108,35 @@ let check_mutex ?(max_states = 2_000_000) ?(fuel = 10_000)
       end
     end
   in
-  try
-    explore
-      (M.create ~nprocs:nthreads ~nlocs:(Ast.nlocs layout))
-      (initial_threads program) [];
-    if !limit_hit then State_limit else Safe !states
-  with Found trace -> Violation trace
+  let verdict =
+    try
+      explore
+        (M.create ~nprocs:nthreads ~nlocs:(Ast.nlocs layout))
+        (initial_threads program) [];
+      if !limit_hit then State_limit else Safe !states
+    with Found trace -> Violation trace
+  in
+  (verdict, !transitions)
+
+(* The production checker is DPOR-backed (ample singletons + sleep sets
+   + covering memoization, see {!Dpor}); the naive enumerator above
+   stays as its differential oracle. *)
+let check_mutex ?max_states ?max_transitions ?fuel m program =
+  let verdict, _stats = Dpor.check_mutex_stats ?max_states ?max_transitions ?fuel m program in
+  match verdict with
+  | Dpor.Safe n -> Safe n
+  | Dpor.Violation trace -> Violation trace
+  | Dpor.State_limit -> State_limit
+
+let check_mutex_stats ?max_states ?max_transitions ?fuel m program =
+  let verdict, stats = Dpor.check_mutex_stats ?max_states ?max_transitions ?fuel m program in
+  let verdict =
+    match verdict with
+    | Dpor.Safe n -> Safe n
+    | Dpor.Violation trace -> Violation trace
+    | Dpor.State_limit -> State_limit
+  in
+  (verdict, stats)
 
 type liveness = Deadlock_free of int | Stuck of int | Liveness_state_limit
 
@@ -111,7 +147,8 @@ let check_deadlock_freedom ?(max_states = 2_000_000) ?(fuel = 10_000)
   (* Forward pass: build the reachable state graph.  A state is keyed by
      the machine plus each thread's (env, cont, finished). *)
   let key_of machine threads =
-    (machine, Array.map (fun t -> (t.env, t.cont, t.finished)) threads)
+    Dpor.digest_key
+      (machine, Array.map (fun t -> (t.env, t.cont, t.finished)) threads)
   in
   let successors = Hashtbl.create 65_537 in
   let terminal = Hashtbl.create 97 in
@@ -206,8 +243,8 @@ let check_deadlock_freedom ?(max_states = 2_000_000) ?(fuel = 10_000)
     if stuck = 0 then Deadlock_free (Hashtbl.length successors) else Stuck stuck
   end
 
-let run_random ?(fuel = 10_000) (module M : Smem_machine.Machine_sig.MACHINE)
-    program ~rand =
+let run_random ?(fuel = 10_000) ?(max_steps = 100_000)
+    (module M : Smem_machine.Machine_sig.MACHINE) program ~rand =
   let layout = Ast.layout program in
   let nthreads = Array.length program.Ast.threads in
   let machine = ref (M.create ~nprocs:nthreads ~nlocs:(Ast.nlocs layout)) in
@@ -244,21 +281,29 @@ let run_random ?(fuel = 10_000) (module M : Smem_machine.Machine_sig.MACHINE)
             threads.(i) <- { t with env; cont; in_cs = true }
         | Exec.A_exit -> threads.(i) <- { t with env; cont; in_cs = false })
   in
-  let rec loop () =
-    let runnable =
-      List.filter (fun i -> not threads.(i).finished) (List.init nthreads Fun.id)
-    in
-    let internals = M.internal !machine in
-    let n = List.length runnable + List.length internals in
-    if n = 0 then ()
-    else begin
-      let k = Random.State.int rand n in
-      if k < List.length runnable then step_thread (List.nth runnable k)
-      else machine := List.nth internals (k - List.length runnable);
-      loop ()
-    end
+  let rec loop steps =
+    (* [max_steps] also guards against livelock: a cyclic program can
+       spin forever on a machine that lets a stale copy persist with no
+       internal work pending, so an unbounded random walk need not
+       terminate.  The truncated trace is still a valid history. *)
+    if steps >= max_steps then ()
+    else
+      let runnable =
+        List.filter
+          (fun i -> not threads.(i).finished)
+          (List.init nthreads Fun.id)
+      in
+      let internals = M.internal !machine in
+      let n = List.length runnable + List.length internals in
+      if n = 0 then ()
+      else begin
+        let k = Random.State.int rand n in
+        if k < List.length runnable then step_thread (List.nth runnable k)
+        else machine := List.nth internals (k - List.length runnable);
+        loop (steps + 1)
+      end
   in
-  loop ();
+  loop 0;
   let next_index = Array.make nthreads 0 in
   let ops =
     List.rev !trace

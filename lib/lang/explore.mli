@@ -20,15 +20,44 @@ type verdict =
 
 val check_mutex :
   ?max_states:int ->
+  ?max_transitions:int ->
   ?fuel:int ->
   Smem_machine.Machine_sig.machine ->
   Ast.program ->
   verdict
-(** Exhaustive check.  [max_states] defaults to 2_000_000; [fuel]
-    bounds local computation per scheduling step (default 10_000).
-    A thread that runs out of local fuel (a memory-free loop deeper
-    than [fuel]) stops that branch and degrades the verdict to
-    {!State_limit} rather than raising. *)
+(** Exhaustive check, backed by the partial-order-reduced explorer
+    ({!Dpor.check_mutex_stats}); the verdict matches the naive
+    enumeration but [Safe] reports the (much smaller) reduced state
+    count.  [max_states] defaults to 2_000_000, [max_transitions] to
+    20_000_000; [fuel] bounds local computation per scheduling step
+    (default 10_000).  A thread that runs out of local fuel (a
+    memory-free loop deeper than [fuel]) stops that branch and degrades
+    the verdict to {!State_limit} rather than raising. *)
+
+val check_mutex_stats :
+  ?max_states:int ->
+  ?max_transitions:int ->
+  ?fuel:int ->
+  Smem_machine.Machine_sig.machine ->
+  Ast.program ->
+  verdict * Dpor.stats
+(** {!check_mutex} plus the reduction counters ([smem mutex --stats]). *)
+
+val check_mutex_naive :
+  ?max_states:int ->
+  ?max_transitions:int ->
+  ?fuel:int ->
+  Smem_machine.Machine_sig.machine ->
+  Ast.program ->
+  verdict * int
+(** The unreduced enumerator: every enabled transition of every
+    reachable state, memoized on states.  Returns the verdict and the
+    number of explored transitions (edges traversed, revisits
+    included) — the differential oracle for {!check_mutex} and the
+    anchor for the pinned state/transition-count regression tests.
+    [State_limit] now also fires when [max_transitions] edges have been
+    traversed, so the budget accounts for work done, not just distinct
+    states. *)
 
 type liveness =
   | Deadlock_free of int
@@ -53,13 +82,18 @@ val check_deadlock_freedom :
 
 val run_random :
   ?fuel:int ->
+  ?max_steps:int ->
   Smem_machine.Machine_sig.machine ->
   Ast.program ->
   rand:Random.State.t ->
   Smem_core.History.t * bool
-(** One random schedule to completion.  Returns the history of memory
-    operations performed and whether mutual exclusion was violated
-    during the run. *)
+(** One random schedule to completion — or to [max_steps] scheduling
+    steps (default 100_000), whichever comes first.  The cap matters
+    on cyclic programs: a spin loop over a stale copy that no pending
+    internal step will refresh makes the unbounded walk diverge (the
+    truncated trace is still a valid history).  Returns the history of
+    memory operations performed and whether mutual exclusion was
+    violated during the run. *)
 
 val to_verdict :
   machine:string -> subject:string -> verdict -> Smem_api.Verdict.t

@@ -217,6 +217,92 @@ let random ~rand ?(nprocs = 2) ?(nlocs = 3) ?(len = 3) ?(labels = `Separated)
     threads = threads nprocs [];
   }
 
+(* Message passing: the handshake behind every producer/consumer
+   protocol.  The data write is ordinary; the flag carries the
+   synchronization (labeled by default).  Loop-free, so it doubles as a
+   corpus seed for {!Dpor.fold_traces} and as the anchor of the pinned
+   explored-state regression tests. *)
+let mp ?(labeled = true) () =
+  {
+    shared = [ ("data", 1); ("flag", 1) ];
+    threads =
+      [|
+        [
+          store ~labeled:false (var "data") (Int 1);
+          store ~labeled (var "flag") (Int 1);
+        ];
+        [
+          load ~labeled "f" (var "flag");
+          load ~labeled:false "d" (var "data");
+        ];
+      |];
+  }
+
+(* Store buffering: the Dekker core.  Plain accesses by default — the
+   shape whose both-read-zero outcome separates SC from every buffered
+   machine. *)
+let sb ?(labeled = false) () =
+  {
+    shared = [ ("x", 1); ("y", 1) ];
+    threads =
+      [|
+        [ store ~labeled (var "x") (Int 1); load ~labeled "r0" (var "y") ];
+        [ store ~labeled (var "y") (Int 1); load ~labeled "r1" (var "x") ];
+      |];
+  }
+
+(* A seqlock round: the writer bumps the sequence number to odd, updates
+   both data elements, bumps it to even; the reader takes one snapshot
+   attempt (sequence, data, data, sequence) and judges its own validity
+   afterwards — loop-free by construction, so the full interleaving set
+   is finite and the snapshot-torn outcomes land in the corpus. *)
+let seqlock ?(labeled = true) () =
+  {
+    shared = [ ("seq", 1); ("d", 2) ];
+    threads =
+      [|
+        [
+          store ~labeled (var "seq") (Int 1);
+          store ~labeled:false (elt "d" (Int 0)) (Int 1);
+          store ~labeled:false (elt "d" (Int 1)) (Int 2);
+          store ~labeled (var "seq") (Int 2);
+        ];
+        [
+          load ~labeled "s1" (var "seq");
+          load ~labeled:false "a" (elt "d" (Int 0));
+          load ~labeled:false "b" (elt "d" (Int 1));
+          load ~labeled "s2" (var "seq");
+        ];
+      |];
+  }
+
+(* The test-and-set spinlock under load: [nprocs] threads each take the
+   lock [rounds] times.  Stress configuration for the corpus pipeline
+   and the DPOR explorer — read-modify-writes serialize at the home
+   copy, so the lock is correct on every machine in the catalogue. *)
+let spinlock_stress ?(nprocs = 3) ?(rounds = 2) () =
+  let thread _ =
+    [
+      For
+        {
+          var = "k";
+          from_ = Int 0;
+          to_ = Int (rounds - 1);
+          body =
+            [
+              Tas { reg = "got"; dst = var "lock" };
+              While
+                ( Ne (reg "got", Int 0),
+                  [ Tas { reg = "got"; dst = var "lock" } ] );
+              Cs_enter;
+              Cs_exit;
+              store ~labeled:true (var "lock") (Int 0);
+            ];
+        };
+    ]
+  in
+  { shared = [ ("lock", 1) ]; threads = Array.init nprocs thread }
+
 let naive_flags ?(labeled = true) () =
   let thread i =
     let j = 1 - i in

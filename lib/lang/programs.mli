@@ -42,6 +42,25 @@ val random :
     ordinary accesses.  Deterministic in [rand].
     @raise Invalid_argument unless [1 <= nlocs <= 6] and [nprocs >= 1]. *)
 
+val mp : ?labeled:bool -> unit -> Ast.program
+(** Message passing: thread 0 writes data then raises a flag (labeled
+    by default), thread 1 reads the flag then the data.  Loop-free —
+    a corpus seed and the anchor of the pinned explored-state
+    regression tests. *)
+
+val sb : ?labeled:bool -> unit -> Ast.program
+(** Store buffering: each thread writes its own location then reads
+    the other's.  Plain accesses by default. *)
+
+val seqlock : ?labeled:bool -> unit -> Ast.program
+(** One seqlock round: the writer bumps a sequence number around a
+    two-element data update; the reader takes a single loop-free
+    snapshot attempt whose torn outcomes are judged after the fact. *)
+
+val spinlock_stress : ?nprocs:int -> ?rounds:int -> unit -> Ast.program
+(** {!tas_spinlock} under load: [nprocs] threads (default 3) acquiring
+    the lock [rounds] times each (default 2). *)
+
 val naive_flags : ?labeled:bool -> unit -> Ast.program
 (** The broken "set my flag, check yours" protocol — a negative control
     that violates mutual exclusion even on sequentially consistent

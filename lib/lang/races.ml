@@ -61,7 +61,15 @@ let find_race ?(max_states = 2_000_000) ?(fuel = 10_000) program =
       accesses
   in
   let rec explore machine threads =
-    let key = (machine, Array.map (fun t -> (t.env, t.cont)) threads) in
+    let key =
+      (* constant-size key: Hashtbl.hash samples only a bounded prefix
+         of deep states, collapsing large buffered machines into a few
+         buckets (see {!Dpor.digest_key}) *)
+      Digest.string
+        (Marshal.to_string
+           (machine, Array.map (fun t -> (t.env, t.cont)) threads)
+           [ Marshal.No_sharing ])
+    in
     if Hashtbl.mem visited key || !limit_hit then ()
     else begin
       incr states;

@@ -31,6 +31,11 @@ type verdict =
           ordinary participant *)
   | State_limit
 
+val access_of_action : int -> Exec.action -> access option
+(** The shared-memory access a thread's pending action performs, if
+    any ([None] for critical-section markers).  Also used by the DPOR
+    explorer to build its dependence relation. *)
+
 val find_race : ?max_states:int -> ?fuel:int -> Ast.program -> verdict
 (** Exhaustive race detection over the SC executions of the program. *)
 

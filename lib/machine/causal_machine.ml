@@ -74,4 +74,16 @@ let internal t =
   in
   List.concat_map deliveries_at (List.init nprocs Fun.id)
 
+(* Pending internal work = the undelivered causal-broadcast messages. *)
+let internal_locs t =
+  Array.fold_left
+    (fun acc queue -> List.fold_left (fun acc m -> m.loc :: acc) acc queue)
+    [] t.pending
+  |> List.sort_uniq compare
+
+(* Each write snapshots the writer's applied-vector: a delivery to the
+   writer changes the dependency metadata of its later writes, so
+   writes never commute with internal steps. *)
+let synchronous = false
+let write_depends_on_internal = true
 let quiescent t = Array.for_all (fun q -> q = []) t.pending

@@ -62,4 +62,13 @@ let internal t =
              }))
     (List.init nprocs Fun.id)
 
+(* Pending internal work = the undelivered updates. *)
+let internal_locs t =
+  Array.fold_left
+    (fun acc queue -> List.fold_left (fun acc m -> m.loc :: acc) acc queue)
+    [] t.pending
+  |> List.sort_uniq compare
+
+let synchronous = false
+let write_depends_on_internal = false
 let quiescent t = Array.for_all (( = ) []) t.pending

@@ -42,6 +42,31 @@ module type MACHINE = sig
   val internal : t -> t list
   (** All one-step internal successors (empty when quiescent). *)
 
+  val internal_locs : t -> int list
+  (** A conservative footprint of the pending internal work: every
+      location that any internal step reachable from this state (by
+      internal steps alone) may read or write.  Used by the DPOR
+      explorer's independence relation — an access to a location
+      outside this set commutes with every internal step.  Sorted,
+      duplicate-free; empty iff {!quiescent} for every machine in the
+      catalogue (buffered and queued updates are never dropped). *)
+
+  val synchronous : bool
+  (** [true] if the machine never generates internal steps: every write
+      completes atomically and {!internal} is always empty (the SC
+      machine).  Lets the DPOR explorer drop the pending-delivery side
+      conditions entirely. *)
+
+  val write_depends_on_internal : bool
+  (** [true] if a write snapshots per-processor state that internal
+      steps mutate — the causal machine stamps each write with the
+      writer's applied-vector, so a delivery to the writer changes the
+      dependency metadata of every later write it issues.  Such writes
+      never commute with internal steps even at unrelated locations,
+      and the DPOR explorer must treat every (write, internal) pair as
+      dependent.  [false] for machines whose writes only append to
+      channels or buffers. *)
+
   val quiescent : t -> bool
   (** No internal steps pending: all buffers drained, all messages
       delivered. *)

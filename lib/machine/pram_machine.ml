@@ -60,5 +60,18 @@ let internal t =
     (fun src -> List.filter_map (deliver src) (List.init nprocs Fun.id))
     (List.init nprocs Fun.id)
 
+(* Pending internal work = the queued channel updates. *)
+let internal_locs t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc queue ->
+          List.fold_left (fun acc (l, _) -> l :: acc) acc queue)
+        acc row)
+    [] t.channels
+  |> List.sort_uniq compare
+
+let synchronous = false
+let write_depends_on_internal = false
 let quiescent t =
   Array.for_all (fun row -> Array.for_all (fun q -> q = []) row) t.channels

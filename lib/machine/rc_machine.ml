@@ -162,6 +162,19 @@ let internal_common t =
     (fun src -> List.filter_map (deliver src) (List.init n Fun.id))
     (List.init n Fun.id)
 
+(* Pending internal work = the queued channel messages. *)
+let internal_locs_common t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc queue -> List.fold_left (fun acc m -> m.loc :: acc) acc queue)
+        acc row)
+    [] t.channels
+  |> List.sort_uniq compare
+
+let synchronous = false
+let write_depends_on_internal = false
+
 let quiescent_common t =
   Array.for_all (fun row -> Array.for_all (fun q -> q = []) row) t.channels
 
@@ -175,6 +188,9 @@ module Sc_flavor = struct
   let write t ~proc ~loc ~value ~labeled = write_common Sc t ~proc ~loc ~value ~labeled
   let test_and_set t ~proc ~loc = tas_common Sc t ~proc ~loc
   let internal = internal_common
+  let internal_locs = internal_locs_common
+  let synchronous = synchronous
+  let write_depends_on_internal = write_depends_on_internal
   let quiescent = quiescent_common
 end
 
@@ -188,5 +204,8 @@ module Pc_flavor = struct
   let write t ~proc ~loc ~value ~labeled = write_common Pc t ~proc ~loc ~value ~labeled
   let test_and_set t ~proc ~loc = tas_common Pc t ~proc ~loc
   let internal = internal_common
+  let internal_locs = internal_locs_common
+  let synchronous = synchronous
+  let write_depends_on_internal = write_depends_on_internal
   let quiescent = quiescent_common
 end

@@ -18,4 +18,8 @@ let test_and_set t ~proc ~loc =
 
 let internal _ = []
 
+let internal_locs _ = []
+let synchronous = true
+let write_depends_on_internal = false
+
 let quiescent _ = true

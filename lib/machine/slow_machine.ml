@@ -63,6 +63,18 @@ let internal t =
   done;
   List.rev !deliveries
 
+(* Pending internal work = locations with a non-empty per-loc channel. *)
+let internal_locs t =
+  let nlocs = Array.length t.master in
+  List.filter
+    (fun loc ->
+      Array.exists
+        (fun row -> Array.exists (fun per_loc -> per_loc.(loc) <> []) row)
+        t.channels)
+    (List.init nlocs Fun.id)
+
+let synchronous = false
+let write_depends_on_internal = false
 let quiescent t =
   Array.for_all
     (fun row -> Array.for_all (fun per_loc -> Array.for_all (( = ) []) per_loc) row)

@@ -49,4 +49,13 @@ let internal t =
   in
   List.filter_map flush (List.init (Array.length t.buffers) Fun.id)
 
+(* Pending internal work = the buffered writes awaiting commit. *)
+let internal_locs t =
+  Array.fold_left
+    (fun acc buffer -> List.fold_left (fun acc (l, _) -> l :: acc) acc buffer)
+    [] t.buffers
+  |> List.sort_uniq compare
+
+let synchronous = false
+let write_depends_on_internal = false
 let quiescent t = Array.for_all (fun b -> b = []) t.buffers

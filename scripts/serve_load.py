@@ -15,8 +15,14 @@ Exit status gates on two claims:
   - throughput >= --min-throughput requests/second, and
   - the warm restart computed nothing (100% hits from the store).
 
+With --corpus FILE the replayed traffic is a generated corpus artifact
+(`smem corpus generate`) instead of the built-in matrix: the file is
+passed through `smem api corpus-requests --corpus FILE`, so the daemon
+serves one Check request per generated test.
+
 Usage: serve_load.py [--exe PATH] [--clients N] [--repeat R]
                      [--out FILE] [--store FILE] [--min-throughput RPS]
+                     [--corpus FILE]
 """
 
 import argparse
@@ -35,12 +41,13 @@ def fail(msg):
     sys.exit(1)
 
 
-def corpus_requests(exe):
-    out = subprocess.run(
-        [exe, "api", "corpus-requests"], capture_output=True, text=True
-    )
+def corpus_requests(exe, corpus=None):
+    cmd = [exe, "api", "corpus-requests"]
+    if corpus:
+        cmd += ["--corpus", corpus]
+    out = subprocess.run(cmd, capture_output=True, text=True)
     if out.returncode != 0:
-        fail(f"`{exe} api corpus-requests` failed: {out.stderr.strip()}")
+        fail(f"`{' '.join(cmd)}` failed: {out.stderr.strip()}")
     reqs = [json.loads(line) for line in out.stdout.splitlines() if line.strip()]
     if not reqs:
         fail("corpus-requests produced no requests")
@@ -123,12 +130,15 @@ def main():
     ap.add_argument("--store", default="")
     ap.add_argument("--min-throughput", type=float, default=50.0,
                     help="gate: requests/second floor")
+    ap.add_argument("--corpus", default="",
+                    help="replay this generated corpus artifact instead of "
+                         "the built-in matrix")
     args = ap.parse_args()
 
     store = args.store or f"/tmp/smem_serve_load_{os.getpid()}.store"
     if not args.store and os.path.exists(store):
         os.remove(store)
-    reqs = corpus_requests(args.exe)
+    reqs = corpus_requests(args.exe, corpus=args.corpus or None)
 
     # -- load phase: N concurrent clients against a cold daemon --------
     proc, port = start_daemon(args.exe, store)
@@ -168,6 +178,7 @@ def main():
         os.remove(store)
 
     section = {
+        "corpus": args.corpus or "builtin",
         "clients": args.clients,
         "requests": total_reqs,
         "wall_s": round(wall, 6),

@@ -1,0 +1,9 @@
+(* Prints the golden corpus sample: the first 20 tests of the standard
+   seed.  The runtest diff against golden/corpus_sample.expected pins
+   the generator end to end — sources, exploration order,
+   canonicalization, dedup order, naming, and the artifact format. *)
+
+let () =
+  print_string
+    (Smem_corpus.Corpus.to_string ~seed:42
+       (Smem_corpus.Corpus.generate ~seed:42 ~count:20 ()))

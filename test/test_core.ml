@@ -550,6 +550,66 @@ let canon_collapses_known_orbit () =
   check Alcotest.bool "same orbit, same digest" true (Canon.equivalent a b);
   check Alcotest.bool "exact below limit" true (Canon.is_exact a)
 
+(* The signature-sort fallback, on histories with distinct rows: seven
+   processors is past [exact_limit], so canonicalization orders rows by
+   signature instead of trying all 7! permutations — the digest must
+   still collapse the same orbits (permutations, renamings) and keep
+   distinct outcomes apart. *)
+let canon_fallback_seven_procs () =
+  let row i =
+    [
+      H.write "x" (i + 1);
+      H.read "y" (i mod 3);
+      H.write ~labeled:(i mod 2 = 0) "z" (i + 1);
+    ]
+  in
+  let h = H.make (List.init 7 row) in
+  check Alcotest.bool "fallback path taken" false (Canon.is_exact h);
+  check Alcotest.string "idempotent" (Canon.encode h)
+    (Canon.encode (Canon.canonicalize h));
+  let reversed = rebuild ~perm:(fun p -> 6 - p) h in
+  let rotated = rebuild ~perm:(fun p -> (p + 3) mod 7) h in
+  check Alcotest.string "reverse permutation" (Canon.digest h)
+    (Canon.digest reversed);
+  check Alcotest.string "rotation" (Canon.digest h) (Canon.digest rotated);
+  let renamed =
+    rebuild ~rename_loc:(fun s -> "q_" ^ s) ~rename_val:(fun _ v -> (2 * v) + 1) h
+  in
+  check Alcotest.string "renaming" (Canon.digest h) (Canon.digest renamed);
+  (* no over-collapsing: turning one read of the initial value into a
+     read of a written value is not a renaming *)
+  let other =
+    H.make
+      (List.init 7 (fun i ->
+           if i = 3 then
+             [ H.write "x" 4; H.read "y" 2; H.write ~labeled:false "z" 4 ]
+           else row i))
+  in
+  check Alcotest.bool "distinct outcomes stay apart" true
+    (Canon.digest h <> Canon.digest other)
+
+(* Above [exact_limit] the orbit is *not* guaranteed to collapse (two
+   rows with equal signatures tie-break on their original index), so
+   the random property asserts exactly what the fallback promises:
+   idempotence and renaming invariance.  Permutation invariance on a
+   distinct-signature history is covered deterministically above. *)
+let canon_fallback_qcheck =
+  QCheck.Test.make
+    ~name:"fallback (>= 7 procs): idempotent and renaming-invariant"
+    ~count:200
+    (Helpers.arb_history ~labeled_allowed:`Mixed ~max_procs:9 ())
+    (fun h ->
+      QCheck.assume (H.nprocs h >= 7);
+      let c = Canon.canonicalize h in
+      let renamed =
+        rebuild
+          ~rename_loc:(fun s -> s ^ "'")
+          ~rename_val:(fun loc v -> v + loc + 2)
+          h
+      in
+      Canon.encode (Canon.canonicalize c) = Canon.encode c
+      && Canon.digest renamed = Canon.digest h)
+
 let canon_large_heuristic () =
   (* Above [exact_limit] the heuristic must still be idempotent and
      invariant under renamings (the sort key is renaming-invariant). *)
@@ -623,11 +683,13 @@ let () =
         tc "distinguishes non-equivalent" canon_distinguishes
         :: tc "collapses a known orbit" canon_collapses_known_orbit
         :: tc "heuristic above exact limit" canon_large_heuristic
+        :: tc "signature-sort fallback at 7 procs" canon_fallback_seven_procs
         :: List.map QCheck_alcotest.to_alcotest
              [
                canon_idempotent;
                canon_row_permutation_invariant;
                canon_renaming_invariant;
                canon_timing_preserved;
+               canon_fallback_qcheck;
              ] );
     ]

@@ -1,0 +1,108 @@
+(* Tests of the corpus pipeline: deterministic generation, digest
+   deduplication, the versioned artifact format, and its round-trip
+   through the litmus parser.  The golden 20-test sample lives in
+   golden/corpus_sample.expected (see the corpus_sample rule in dune);
+   this file checks the properties the sample can't. *)
+
+module Corpus = Smem_corpus.Corpus
+module Canon = Smem_core.Canon
+module Test = Smem_litmus.Test
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let deterministic () =
+  let a = Corpus.generate ~seed:42 ~count:120 () in
+  let b = Corpus.generate ~seed:42 ~count:120 () in
+  check Alcotest.int "count honoured" 120 (List.length a);
+  check Alcotest.string "byte-identical artifacts"
+    (Corpus.to_string ~seed:42 a)
+    (Corpus.to_string ~seed:42 b);
+  let c = Corpus.generate ~seed:7 ~count:120 () in
+  check Alcotest.bool "another seed, another corpus" false
+    (String.equal (Corpus.to_string ~seed:42 a) (Corpus.to_string ~seed:7 c))
+
+let deduplicated () =
+  let tests = Corpus.generate ~seed:42 ~count:300 () in
+  check Alcotest.int "count honoured" 300 (List.length tests);
+  let digests =
+    List.map (fun (t : Test.t) -> Canon.digest t.Test.history) tests
+  in
+  check Alcotest.int "all canonical digests distinct"
+    (List.length digests)
+    (List.length (List.sort_uniq compare digests));
+  (* generated tests are stored canonicalized: re-canonicalizing is the
+     identity on every one of them *)
+  List.iter
+    (fun (t : Test.t) ->
+      check Alcotest.string (t.Test.name ^ " canonical")
+        (Canon.encode t.Test.history)
+        (Canon.encode (Canon.canonicalize t.Test.history)))
+    tests
+
+let round_trip () =
+  let tests = Corpus.generate ~seed:42 ~count:150 () in
+  let s = Corpus.to_string ~seed:42 tests in
+  match Corpus.parse s with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok back ->
+      check Alcotest.int "same count" (List.length tests) (List.length back);
+      List.iter2
+        (fun (a : Test.t) (b : Test.t) ->
+          check Alcotest.string "name" a.Test.name b.Test.name;
+          check Alcotest.string "history survives printing"
+            (Canon.digest a.Test.history)
+            (Canon.digest (Canon.canonicalize b.Test.history)))
+        tests back
+
+let expectations_embedded () =
+  let sc =
+    match Smem_core.Registry.find "sc" with
+    | Some m -> m
+    | None -> Alcotest.fail "no sc model"
+  in
+  let tests = Corpus.generate ~seed:42 ~count:40 ~expect:[ sc ] () in
+  List.iter
+    (fun (t : Test.t) ->
+      match List.assoc_opt "sc" t.Test.expectations with
+      | Some verdict ->
+          let expected =
+            match sc.Smem_core.Model.witness t.Test.history with
+            | Some _ -> Test.Allowed
+            | None -> Test.Forbidden
+          in
+          check Alcotest.bool (t.Test.name ^ " sc expectation") true
+            (verdict = expected)
+      | None -> Alcotest.failf "%s carries no sc expectation" t.Test.name)
+    tests;
+  (* the expectation lines survive the artifact round-trip *)
+  let s = Corpus.to_string ~seed:42 tests in
+  match Corpus.parse s with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok back ->
+      List.iter2
+        (fun (a : Test.t) (b : Test.t) ->
+          check Alcotest.bool (a.Test.name ^ " expectations round-trip") true
+            (a.Test.expectations = b.Test.expectations))
+        tests back
+
+let header_checked () =
+  (match Corpus.parse "test t0 \"x\"\np0: w x 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "headerless text accepted");
+  match Corpus.parse "# smem-corpus/999 seed=1 count=0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong version accepted"
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "pipeline",
+        [
+          tc "deterministic at a fixed seed" deterministic;
+          tc "digest-deduplicated" deduplicated;
+          tc "artifact round-trips through the parser" round_trip;
+          tc "model expectations embedded" expectations_embedded;
+          tc "artifact header validated" header_checked;
+        ] );
+    ]

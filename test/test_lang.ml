@@ -370,6 +370,147 @@ let violation_trace_structure () =
       check Alcotest.bool "two entries" true (List.length enters >= 2)
   | _ -> Alcotest.fail "expected a violation"
 
+(* ---------------- DPOR vs. naive enumeration ---------------- *)
+
+(* The two differential oracles for the reduced explorer.  fold_traces
+   must emit the same *set* of (history class, final registers) pairs
+   as the naive full-interleaving enumeration — the reduction may only
+   drop duplicates within a Mazurkiewicz trace class.  check_mutex
+   must return the same verdict as the unreduced enumerator on every
+   (program, machine) cell. *)
+
+let trace_set ~reduced m p =
+  let key (h, envs) =
+    ( Smem_core.Canon.digest h,
+      Array.to_list (Array.map Exec.Env.bindings envs) )
+  in
+  match
+    Smem_lang.Dpor.fold_traces ~reduced ~max_transitions:100_000 m p
+      ~init:[]
+      ~f:(fun acc t -> key t :: acc)
+  with
+  | Ok l -> Some (List.sort_uniq compare l)
+  | Error _ -> None
+
+(* Shrinking happens on the scalar parameters (seed, size, machine
+   index): QCheck walks them toward the range floors, so a failure
+   reports the smallest program shape that still disagrees. *)
+let dpor_traces_agree =
+  QCheck.Test.make ~name:"fold_traces: reduced = naive (set of outcomes)"
+    ~count:40
+    QCheck.(
+      quad (0 -- 10_000) (1 -- 2) (2 -- 3)
+        (0 -- (List.length Machines.all - 1)))
+    (fun (seed, len, nprocs, mi) ->
+      let rand = Random.State.make [| 2026; seed |] in
+      let labels = [| `No; `Mixed; `Separated |].(seed mod 3) in
+      let p = Programs.random ~rand ~nprocs ~nlocs:2 ~len ~labels () in
+      let m = List.nth Machines.all mi in
+      match trace_set ~reduced:false m p with
+      (* a case too big for the naive side is discarded, not failed:
+         the comparison needs both enumerations to finish *)
+      | None -> QCheck.assume_fail ()
+      | Some naive ->
+          (* the reduced run does strictly less work, so its budget
+             cannot be the one that fails *)
+          trace_set ~reduced:true m p = Some naive)
+
+let same_verdict a b =
+  match (a, b) with
+  | Explore.Safe _, Explore.Safe _ -> true
+  | Explore.Violation _, Explore.Violation _ -> true
+  | Explore.State_limit, Explore.State_limit -> true
+  | _ -> false
+
+let dpor_mutex_matrix () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun m ->
+          let naive, _ = Explore.check_mutex_naive m p in
+          let reduced = Explore.check_mutex m p in
+          check Alcotest.bool
+            (Printf.sprintf "%s on %s: DPOR verdict = naive" name
+               (Machines.name m))
+            true
+            (same_verdict naive reduced))
+        Machines.all)
+    [
+      ("bakery2", Programs.bakery ~n:2 ());
+      ("peterson", Programs.peterson ());
+      ("dekker", Programs.dekker ());
+      ("naive-flags", Programs.naive_flags ());
+      ("seqlock", Programs.seqlock ());
+      ("spinlock", Programs.tas_spinlock ());
+    ]
+
+(* The headline acceptance number: on a weak machine the reduced
+   exploration of bakery(2) does at least 10x fewer transitions than
+   the naive enumeration. *)
+let dpor_reduction_ratio () =
+  let m = machine "local" in
+  let p = Programs.bakery ~n:2 () in
+  let _, naive_tr = Explore.check_mutex_naive m p in
+  let _, stats = Explore.check_mutex_stats m p in
+  let reduced_tr = max 1 stats.Smem_lang.Dpor.transitions in
+  check Alcotest.bool
+    (Printf.sprintf "bakery2/local: %d naive vs %d reduced transitions"
+       naive_tr reduced_tr)
+    true
+    (naive_tr >= 10 * reduced_tr)
+
+(* Exact explored-state counts for the two classic loop-free shapes,
+   pinned per machine: any change to stepping, machine transitions, or
+   the transition-accounting fix shows up as a diff here.  The DPOR
+   side prunes at the root (no critical sections anywhere), so its
+   pinned count is 1 state, 0 transitions. *)
+let pinned_counts () =
+  let expect_naive =
+    [
+      ( "mp",
+        Programs.mp (),
+        [
+          ("sc", 13, 27); ("tso", 23, 57); ("pc-g", 23, 57); ("causal", 23, 57);
+          ("pram", 23, 57); ("slow", 29, 77); ("local", 29, 77);
+          ("rc-sc", 16, 36); ("rc-pc", 23, 57);
+        ] );
+      ( "sb",
+        Programs.sb (),
+        [
+          ("sc", 13, 27); ("tso", 34, 93); ("pc-g", 34, 93); ("causal", 42, 117);
+          ("pram", 34, 93); ("slow", 34, 93); ("local", 34, 93);
+          ("rc-sc", 34, 93); ("rc-pc", 34, 93);
+        ] );
+    ]
+  in
+  List.iter
+    (fun (name, p, cells) ->
+      List.iter
+        (fun (key, states, transitions) ->
+          let verdict, tr = Explore.check_mutex_naive (machine key) p in
+          (match verdict with
+          | Explore.Safe n ->
+              check Alcotest.int
+                (Printf.sprintf "%s/%s naive states" name key)
+                states n
+          | _ -> Alcotest.failf "%s/%s: expected Safe" name key);
+          check Alcotest.int
+            (Printf.sprintf "%s/%s naive transitions" name key)
+            transitions tr;
+          let reduced, stats = Explore.check_mutex_stats (machine key) p in
+          (match reduced with
+          | Explore.Safe n ->
+              check Alcotest.int
+                (Printf.sprintf "%s/%s reduced states" name key)
+                1 n
+          | _ -> Alcotest.failf "%s/%s: expected Safe (reduced)" name key);
+          check Alcotest.int
+            (Printf.sprintf "%s/%s reduced transitions" name key)
+            0
+            stats.Smem_lang.Dpor.transitions)
+        cells)
+    expect_naive
+
 let random_runs_record_histories () =
   let rand = Random.State.make [| 42 |] in
   let h, violated = Explore.run_random (machine "sc") (Programs.peterson ()) ~rand in
@@ -395,6 +536,13 @@ let () =
         [
           tc "violation traces" violation_trace_structure;
           tc "random runs record histories" random_runs_record_histories;
+        ] );
+      ( "dpor",
+        [
+          QCheck_alcotest.to_alcotest dpor_traces_agree;
+          tc "mutex verdict matrix = naive" dpor_mutex_matrix;
+          tc "bakery2 reduction >= 10x" dpor_reduction_ratio;
+          tc "pinned mp/sb counts" pinned_counts;
         ] );
       ("liveness", [ tc "deadlock freedom" deadlock_freedom ]);
       ( "races",
