@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke corpus fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke corpus solver fmt fmt-check ci clean
 
 all: build
 
@@ -68,6 +68,17 @@ corpus: build
 	  --clients 2 --repeat 2 --corpus _build/corpus-500.txt
 	dune exec bin/smem.exe -- fuzz --seed 42 --count 100 --corpus _build/corpus-500.txt
 
+# The constraint-propagation engine gates: the 500-case solver ≡
+# enumerator differential over a generated corpus, the full corpus
+# matrix under --engine solve, and the bench crossover section (fails
+# if the engines disagree or the solver never overtakes enumeration).
+solver: build
+	dune exec bin/smem.exe -- corpus generate --seed 42 --count 500 -o _build/corpus-solver.txt
+	dune exec bin/smem.exe -- fuzz --seed 42 --count 500 --engines --no-machines \
+	  --corpus _build/corpus-solver.txt
+	dune exec bin/smem.exe -- corpus --engine solve --stats
+	dune exec bench/main.exe -- --solver-only --out _build/BENCH_solver.json
+
 # Deterministic simulation of the serving stack: seeded schedules,
 # every benign fault enabled, zero invariant violations expected.
 # Failing schedules are shrunk and printed as replayable commands.
@@ -83,7 +94,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke certs serve-smoke serve-load corpus sim-smoke bench-figures
+ci: build test examples fuzz-smoke certs serve-smoke serve-load corpus solver sim-smoke bench-figures
 
 clean:
 	dune clean

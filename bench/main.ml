@@ -533,6 +533,77 @@ let regenerate_figures ~quick ~force_mismatch ~corpus =
   match corpus with [] -> () | tests -> corpus_cache_section tests
 
 (* ------------------------------------------------------------------ *)
+(* Solver crossover: propagation engine vs. brute-force enumeration    *)
+(* ------------------------------------------------------------------ *)
+
+(* co-pump(k): two processors each write x k times, a third reads x
+   stale (2 then 1).  SC forbids it for every k >= 2 (k = 1 is allowed,
+   so the family starts at 2).  Both read values are written exactly
+   once, so the reads-from map is forced and the whole refutation cost
+   sits in the coherence enumeration: the enumerator exhausts every
+   po-respecting interleaving of the two write chains (C(2k, k) orders,
+   each with a full legality check) while the propagation engine derives
+   the from-read cycle without materializing any order. *)
+let co_pump k =
+  H.make
+    [
+      List.init k (fun i -> H.write "x" (i + 1));
+      List.init k (fun i -> H.write "x" (k + i + 1));
+      [ H.read "x" 2; H.read "x" 1 ];
+    ]
+
+let solver_section () =
+  Format.printf "@.== Solver crossover (co-pump(k) under SC) ==@.";
+  Format.printf "  %-4s %14s %14s   %s@." "k" "enum" "solve" "verdicts";
+  Smem_solve.Solve.install ();
+  let sc = model "sc" in
+  let timed engine h =
+    Model.set_engine engine;
+    Stats.reset ();
+    let t0 = Clock.now () in
+    let got = Model.check sc h in
+    let ns = Clock.elapsed_ns t0 in
+    (got, ns, Stats.snapshot ())
+  in
+  let crossover = ref None in
+  for k = 2 to 7 do
+    let h = co_pump k in
+    let enum_got, enum_ns, _ = timed Model.Enum h in
+    let solve_got, solve_ns, s = timed Model.Solve h in
+    Model.set_engine Model.Enum;
+    (* Gated claims: the engines agree, and the family is forbidden. *)
+    let ok = enum_got = solve_got && not enum_got in
+    if ok && solve_ns < enum_ns && !crossover = None then crossover := Some k;
+    record "solver"
+      (Json.Obj
+         [
+           ("family", Json.Str "co-pump");
+           ("k", Json.Int k);
+           ("nops", Json.Int (H.nops h));
+           ("enum_ns", Json.Int enum_ns);
+           ("solve_ns", Json.Int solve_ns);
+           ("enum_allowed", Json.Bool enum_got);
+           ("solve_allowed", Json.Bool solve_got);
+           ("solve_decisions", Json.Int s.Stats.solve_decisions);
+           ("solve_propagations", Json.Int s.Stats.solve_propagations);
+           ("solve_conflicts", Json.Int s.Stats.solve_conflicts);
+           ("solve_nogoods", Json.Int s.Stats.solve_nogoods);
+         ]);
+    Format.printf "  %-4d %12dns %12dns   %s/%s %s@." k enum_ns solve_ns
+      (verdict enum_got) (verdict solve_got) (mark ok)
+  done;
+  (match !crossover with
+  | Some k ->
+      record "solver"
+        (Json.Obj [ ("family", Json.Str "crossover"); ("k", Json.Int k) ]);
+      Format.printf "  solver overtakes enumeration at k=%d@." k
+  | None ->
+      (* No crossover is a gated failure: the whole point of the engine
+         is to win on exactly this shape. *)
+      incr failures;
+      Format.printf "  solver never overtook enumeration <-- MISMATCH@.")
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: bechamel benchmarks                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -784,6 +855,7 @@ let () =
   let out = ref "BENCH_smem.json" in
   let figures_only = ref false in
   let quick = ref false in
+  let solver_only = ref false in
   let force_mismatch = ref false in
   let corpus_file = ref "" in
   let spec =
@@ -791,6 +863,8 @@ let () =
       ("--out", Arg.Set_string out, "FILE  Machine-readable results (default BENCH_smem.json)");
       ("--figures-only", Arg.Set figures_only, "  Skip the bechamel timing part");
       ("--quick", Arg.Set quick, "  Figures 1-4 claims only (implies --figures-only)");
+      ("--solver-only", Arg.Set solver_only,
+       "  Run only the solver-vs-enumeration crossover section");
       ("--force-mismatch", Arg.Set force_mismatch, "  Invert Figure 1 expectations (tests the exit-code gate)");
       ("--corpus", Arg.Set_string corpus_file,
        "FILE  Also gate a cold/warm serving pass over this generated corpus \
@@ -799,8 +873,8 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--out FILE] [--figures-only] [--quick] [--force-mismatch] \
-     [--corpus FILE]";
+    "bench [--out FILE] [--figures-only] [--quick] [--solver-only] \
+     [--force-mismatch] [--corpus FILE]";
   let corpus =
     if !corpus_file = "" then []
     else
@@ -810,8 +884,12 @@ let () =
           Format.eprintf "error: %s: %s@." !corpus_file e;
           exit 2
   in
-  let figures_only = !figures_only || !quick in
-  regenerate_figures ~quick:!quick ~force_mismatch:!force_mismatch ~corpus;
+  let figures_only = !figures_only || !quick || !solver_only in
+  if not !solver_only then
+    regenerate_figures ~quick:!quick ~force_mismatch:!force_mismatch ~corpus;
+  (* The crossover section rides along the full run and is the whole run
+     under --solver-only (the CI solver-smoke job). *)
+  if not !quick then solver_section ();
   if not figures_only then begin
     let results = benchmark () in
     print_results results

@@ -169,6 +169,28 @@ let setup_obs ?(ppf = Format.std_formatter) o =
       if o.stats || o.metrics then Format.pp_print_flush ppf ();
       Smem_obs.Trace.stop ())
 
+(* The witness engine is process-global state (Model.witness_of
+   dispatches on it), so the flag is plain setup like the observability
+   switches: parse, install the solver, set the mode. *)
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("enum", Model.Enum); ("solve", Model.Solve) ])
+        Model.Enum
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Witness engine: $(b,enum) runs each model's own rf × co \
+           enumeration; $(b,solve) routes every model with a declared \
+           parameter quadruple through the constraint-propagation engine \
+           (watched views, conflict-driven nogood learning), falling back \
+           to enumeration for composed models.  Verdicts are identical — \
+           $(b,smem fuzz --engines) checks exactly that.")
+
+let setup_engine engine =
+  Smem_solve.Solve.install ();
+  Model.set_engine engine
+
 let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
@@ -305,8 +327,9 @@ let check_cmd =
     List.iter (fun v -> Format.printf "%a@." Verdict.pp v) vs;
     List.length (disagreements vs)
   in
-  let run source models obs certify format cache =
+  let run source models obs engine certify format cache =
     setup_obs obs;
+    setup_engine engine;
     let models = resolve_models models in
     let service = make_service cache in
     let emit tests =
@@ -356,12 +379,13 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Check a litmus test — or every .litmus file in a directory —           against memory models.")
-    Term.(const run $ source $ models_arg $ obs_term $ certify_arg
-          $ cert_format_arg $ cache_arg)
+    Term.(const run $ source $ models_arg $ obs_term $ engine_arg
+          $ certify_arg $ cert_format_arg $ cache_arg)
 
 let corpus_cmd =
-  let run models jobs obs certify format cache =
+  let run models jobs obs engine certify format cache =
     setup_obs obs;
+    setup_engine engine;
     let models = resolve_models models in
     let service = make_service ~jobs:(resolve_jobs jobs) cache in
     let resp =
@@ -378,8 +402,8 @@ let corpus_cmd =
     if bad <> [] then exit 1
   in
   let builtin_term =
-    Term.(const run $ models_arg $ jobs_arg $ obs_term $ certify_arg
-          $ cert_format_arg $ cache_arg)
+    Term.(const run $ models_arg $ jobs_arg $ obs_term $ engine_arg
+          $ certify_arg $ cert_format_arg $ cache_arg)
   in
   let generate_cmd =
     let seed =
@@ -449,8 +473,9 @@ let explain_cmd =
       & opt (some model_conv) None
       & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model to explain under.")
   in
-  let run source (model : Model.t) obs =
+  let run source (model : Model.t) obs engine =
     setup_obs obs;
+    setup_engine engine;
     match load_test source with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -458,7 +483,7 @@ let explain_cmd =
     | Ok test -> (
         let h = test.Test.history in
         Format.printf "%a@.@." History.pp h;
-        match model.Model.witness h with
+        match Model.witness_of model h with
         | Some w ->
             Format.printf "allowed by %s; witness views:@.%a@." model.Model.name
               (Witness.pp h) w
@@ -478,14 +503,15 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show witness views (or their absence) for a test.")
-    Term.(const run $ source $ model $ obs_term)
+    Term.(const run $ source $ model $ obs_term $ engine_arg)
 
 let lattice_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz Hasse diagram.")
   in
-  let run dot jobs obs =
+  let run dot jobs obs engine =
     setup_obs obs;
+    setup_engine engine;
     if dot then
       (* Graphviz needs the full matrix (witness histories included),
          so the dot path stays on the library API. *)
@@ -520,7 +546,7 @@ let lattice_cmd =
   Cmd.v
     (Cmd.info "lattice"
        ~doc:"Recompute the containment lattice of the paper's Figure 5.")
-    Term.(const run $ dot $ jobs_arg $ obs_term)
+    Term.(const run $ dot $ jobs_arg $ obs_term $ engine_arg)
 
 let mutex_cmd =
   let alg =
@@ -842,7 +868,7 @@ let custom_cmd =
     | Ok test -> (
         let h = test.Test.history in
         Format.printf "%a@.@.%s@." History.pp h model.Model.description;
-        match model.Model.witness h with
+        match Model.witness_of model h with
         | Some w ->
             Format.printf "allowed; witness views:@.%a@." (Witness.pp h) w
         | None -> Format.printf "forbidden: no legal views exist.@.")
@@ -1041,8 +1067,18 @@ let fuzz_cmd =
              the random cases: case $(i,i) additionally runs corpus test \
              $(i,i) mod $(i,n) through the lattice oracle.")
   in
+  let engines =
+    Arg.(
+      value & flag
+      & info [ "engines" ]
+          ~doc:
+            "Differential-test the constraint-propagation engine against \
+             each model's own enumeration on every history checked \
+             (including machine traces and corpus replays); a verdict \
+             disagreement is a shrunk, certificate-carrying violation.")
+  in
   let run seed count jobs max_procs max_ops nlocs maxv labels no_machines
-      lang_every out corpus_file cert_format obs =
+      lang_every engines out corpus_file cert_format obs =
     setup_obs obs;
     let corpus =
       match corpus_file with
@@ -1071,6 +1107,7 @@ let fuzz_cmd =
         labels;
         machines = not no_machines;
         lang_every;
+        engines;
         corpus;
       }
     in
@@ -1121,8 +1158,8 @@ let fuzz_cmd =
           counterexamples.")
     Term.(
       const run $ seed $ count $ jobs_arg $ max_procs $ max_ops $ nlocs $ maxv
-      $ labels $ no_machines $ lang_every $ out $ corpus_file $ cert_format_arg
-      $ obs_term)
+      $ labels $ no_machines $ lang_every $ engines $ out $ corpus_file
+      $ cert_format_arg $ obs_term)
 
 let cert_cmd =
   let files =
@@ -1156,14 +1193,22 @@ let cert_cmd =
               incr failures
           | Ok c -> (
               match Kernel.verify ~max_search_ops:max_ops c with
-              | Ok { Kernel.complete } ->
-                  Format.printf "%s: OK — %s %s%s@." file
+              | Ok accepted ->
+                  Format.printf "%s: %s — %s %s%s@." file
+                    (match accepted with
+                    | Kernel.Complete -> "OK"
+                    | Kernel.Unverified_cap _ -> "OK [UNVERIFIED-CAP]")
                     (match c.Cert.verdict with
                     | Cert.Allowed -> "allowed"
                     | Cert.Forbidden -> "forbidden")
                     ("under " ^ c.Cert.model)
-                    (if complete then ""
-                     else " (frontier matched; refutation not re-enumerated)")
+                    (match accepted with
+                    | Kernel.Complete -> ""
+                    | Kernel.Unverified_cap { nops; max_search_ops } ->
+                        Printf.sprintf
+                          " (frontier matched; refutation not re-enumerated: \
+                           %d ops > --max-search-ops %d)"
+                          nops max_search_ops)
               | Error reason ->
                   Format.printf "%s: REJECTED — %s@." file reason;
                   incr failures))
@@ -1254,8 +1299,9 @@ let serve_cmd =
         | Some port -> Ok (Daemon.Tcp (host, port))
         | None -> Error (Printf.sprintf "--tcp: not a port number: %S" port))
   in
-  let run batch jobs cache store queue tcp socket obs =
+  let run batch jobs cache store queue tcp socket obs engine =
     setup_obs ~ppf:Format.err_formatter obs;
+    setup_engine engine;
     let jobs = resolve_jobs jobs in
     let cache =
       if cache > 0 then Some (Smem_cache.Cache.create ~capacity:cache ())
@@ -1327,7 +1373,7 @@ let serve_cmd =
           known, and survive restarts when $(b,--store) is given.")
     Term.(
       const run $ batch $ jobs_arg $ cache_arg $ store $ queue $ tcp $ socket
-      $ obs_term)
+      $ obs_term $ engine_arg)
 
 let sim_cmd =
   let module Sim = Smem_sim.Sim in

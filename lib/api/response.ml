@@ -4,6 +4,7 @@ type error_code =
   | Unknown_test
   | Uncertifiable
   | Rejected
+  | Too_large
   | Internal
 
 type payload =
@@ -48,6 +49,7 @@ let error_code_to_string = function
   | Unknown_test -> "unknown-test"
   | Uncertifiable -> "uncertifiable"
   | Rejected -> "rejected"
+  | Too_large -> "too-large"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -56,6 +58,7 @@ let error_code_of_string = function
   | "unknown-test" -> Some Unknown_test
   | "uncertifiable" -> Some Uncertifiable
   | "rejected" -> Some Rejected
+  | "too-large" -> Some Too_large
   | "internal" -> Some Internal
   | _ -> None
 

@@ -15,6 +15,10 @@ type error_code =
   | Rejected
       (** the independent kernel rejected the certificate the engine
           emitted — the engine and the kernel disagree *)
+  | Too_large
+      (** the history exceeds a hard capacity bound of the view search
+          ({!Smem_core.View.Too_large}); the request is answered with
+          this code instead of crashing the worker *)
   | Internal
       (** executing the request raised — a worker crashed mid-batch or
           a checker hit a bug.  The serving loop answers the affected

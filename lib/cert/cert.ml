@@ -82,7 +82,7 @@ let certify (m : Model.t) ?name (h : History.t) =
   | Some _ ->
       let rows = rows_of_history h in
       let evidence =
-        match m.Model.witness h with
+        match Model.witness_of m h with
         | Some w ->
             let f = remap_table h in
             Witness

@@ -9,7 +9,9 @@
 
 open Smem_core
 
-type accepted = { complete : bool }
+type accepted =
+  | Complete
+  | Unverified_cap of { nops : int; max_search_ops : int }
 
 exception Reject of string
 
@@ -890,6 +892,7 @@ let default_max_search_ops = 8
 
 let kernel_verifies = Smem_obs.Metrics.counter "cert.kernel_verifies"
 let kernel_rejections = Smem_obs.Metrics.counter "cert.kernel_rejections"
+let kernel_unverified_cap = Smem_obs.Metrics.counter "cert.kernel_unverified_cap"
 
 let verify_checked ~max_search_ops (c : Cert.t) =
   try
@@ -912,7 +915,7 @@ let verify_checked ~max_search_ops (c : Cert.t) =
     match (c.Cert.verdict, c.Cert.evidence) with
     | Cert.Allowed, Cert.Witness { views; rf; sync; notes = _ } ->
         verify_witness h params ~views ~rf ~sync;
-        Ok { complete = true }
+        Ok Complete
     | Cert.Forbidden, Cert.Frontier { rf_maps; co_orders } ->
         let rf', co' = candidate_space h in
         if rf' <> rf_maps || co' <> co_orders then
@@ -924,9 +927,9 @@ let verify_checked ~max_search_ops (c : Cert.t) =
           if search_exn params h then
             reject
               "the history is allowed: independent enumeration found a witness";
-          Ok { complete = true }
+          Ok Complete
         end
-        else Ok { complete = false }
+        else Ok (Unverified_cap { nops = History.nops h; max_search_ops })
     | Cert.Allowed, Cert.Frontier _ ->
         reject "an allowed verdict must carry witness evidence"
     | Cert.Forbidden, Cert.Witness _ ->
@@ -950,5 +953,6 @@ let verify ?(max_search_ops = default_max_search_ops) (c : Cert.t) =
   in
   (match result with
   | Error _ -> Smem_obs.Metrics.incr kernel_rejections
-  | Ok _ -> ());
+  | Ok (Unverified_cap _) -> Smem_obs.Metrics.incr kernel_unverified_cap
+  | Ok Complete -> ());
   result

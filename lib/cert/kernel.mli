@@ -17,13 +17,16 @@
 
 open Smem_core
 
-type accepted = {
-  complete : bool;
-      (** [false] only for a forbidden certificate whose history exceeds
+type accepted =
+  | Complete  (** every obligation was independently re-checked *)
+  | Unverified_cap of { nops : int; max_search_ops : int }
+      (** a forbidden certificate whose history exceeds
           [max_search_ops]: the frontier summary was re-computed and
-          matched, but the refutation was not re-run by independent
-          enumeration. *)
-}
+          matched, but the refutation was {e not} re-run by independent
+          enumeration.  Surfaced as an explicit status (and the
+          [cert.kernel_unverified_cap] metric) so a capped acceptance
+          can never silently masquerade as a full one; re-verify with a
+          larger [?max_search_ops] to upgrade it to {!Complete}. *)
 
 val default_max_search_ops : int
 (** 8: forbidden certificates on histories up to this many operations

@@ -86,4 +86,29 @@ val make :
 
 val check : t -> History.t -> bool
 (** [check m h] — is [h] in the set of histories allowed by [m]?
-    Bumps the {!Stats} check counter and accumulates wall time. *)
+    Bumps the {!Stats} check counter and accumulates wall time.
+    Routes through {!witness_of}, so it honours the selected engine. *)
+
+(** {1 Engine selection}
+
+    Two interchangeable witness searches exist: the models' own
+    enumeration of rf × co candidates ([Enum], the baseline), and the
+    constraint-propagation engine in [Smem_solve] ([Solve]).  The mode
+    is process-global and must be set before worker domains spawn; the
+    solver registers itself via {!register_solver} (this library cannot
+    depend on it).  Models without a parameter triple always fall back
+    to their own witness function. *)
+
+type engine = Enum | Solve
+
+val set_engine : engine -> unit
+val engine : unit -> engine
+
+val register_solver : (t -> History.t -> Witness.t option) -> unit
+(** Install the [Solve] engine's witness function.  Called by
+    [Smem_solve.Solve.install]. *)
+
+val witness_of : t -> History.t -> Witness.t option
+(** The model's witness through the selected engine: the registered
+    solver when the mode is [Solve] and the model has a parameter
+    triple, the model's own enumeration otherwise. *)

@@ -73,6 +73,11 @@ let iter h ~f =
     go 0
   end
 
+let make h ~writer =
+  let arr = Array.make (max 1 (History.nops h)) no_writer in
+  List.iter (fun r -> arr.(r) <- writer r) (History.reads h);
+  { writer = arr }
+
 let pairs h t = List.map (fun r -> (r, writer t r)) (History.reads h)
 
 let wb h t =

@@ -23,6 +23,12 @@ val candidates : History.t -> int -> int list
     with the same value, plus {!History.init} when the value is [0].
     The read itself is never a candidate. *)
 
+val make : History.t -> writer:(int -> int) -> t
+(** [make h ~writer] builds the assignment mapping each read [r] of [h]
+    to [writer r] (an op id or {!History.init}).  Used by the
+    constraint-propagation engine, which decides writers one at a time
+    instead of enumerating whole maps. *)
+
 val iter : History.t -> f:(t -> bool) -> bool
 (** Enumerate every reads-from map of the history (the cartesian
     product of per-read candidates), calling [f] on each.  Returns

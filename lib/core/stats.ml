@@ -18,6 +18,12 @@ type snapshot = {
   pruned : int;
   toposorts : int;
   wall_ns : int;
+  solve_decisions : int;
+  solve_propagations : int;
+  solve_conflicts : int;
+  solve_nogoods : int;
+  solve_nogood_hits : int;
+  solve_leaves : int;
 }
 
 let checks = M.counter "search.checks"
@@ -26,6 +32,17 @@ let co_candidates = M.counter "search.co_candidates"
 let pruned = M.counter "search.pruned"
 let toposorts = M.counter "search.toposorts"
 let wall_ns = M.counter "search.wall_ns"
+
+(* The propagation engine's own cost drivers, distinct from the
+   enumeration counters above: decisions are variable assignments tried,
+   propagations are closure edges inserted, conflicts are cycles caught
+   before any leaf check, nogoods/nogood_hits measure learning. *)
+let solve_decisions = M.counter "solve.decisions"
+let solve_propagations = M.counter "solve.propagations"
+let solve_conflicts = M.counter "solve.conflicts"
+let solve_nogoods = M.counter "solve.nogoods"
+let solve_nogood_hits = M.counter "solve.nogood_hits"
+let solve_leaves = M.counter "solve.leaves"
 
 (* Per-oracle counters for the differential fuzzer, keyed by oracle
    name (a machine/model pairing or a containment arrow).  Stored as
@@ -47,6 +64,12 @@ let snapshot () =
     pruned = M.value pruned;
     toposorts = M.value toposorts;
     wall_ns = M.value wall_ns;
+    solve_decisions = M.value solve_decisions;
+    solve_propagations = M.value solve_propagations;
+    solve_conflicts = M.value solve_conflicts;
+    solve_nogoods = M.value solve_nogoods;
+    solve_nogood_hits = M.value solve_nogood_hits;
+    solve_leaves = M.value solve_leaves;
   }
 
 let diff a b =
@@ -57,6 +80,12 @@ let diff a b =
     pruned = a.pruned - b.pruned;
     toposorts = a.toposorts - b.toposorts;
     wall_ns = a.wall_ns - b.wall_ns;
+    solve_decisions = a.solve_decisions - b.solve_decisions;
+    solve_propagations = a.solve_propagations - b.solve_propagations;
+    solve_conflicts = a.solve_conflicts - b.solve_conflicts;
+    solve_nogoods = a.solve_nogoods - b.solve_nogoods;
+    solve_nogood_hits = a.solve_nogood_hits - b.solve_nogood_hits;
+    solve_leaves = a.solve_leaves - b.solve_leaves;
   }
 
 let count_fuzz_pass key = M.incr (M.counter (fuzz_pass_prefix ^ key))
@@ -112,6 +141,12 @@ let count_co () = M.incr co_candidates
 let add_pruned n = if n > 0 then M.add pruned n
 let count_toposort () = M.incr toposorts
 let add_wall_ns n = if n > 0 then M.add wall_ns n
+let count_solve_decision () = M.incr solve_decisions
+let add_solve_propagations n = if n > 0 then M.add solve_propagations n
+let count_solve_conflict () = M.incr solve_conflicts
+let count_solve_nogood () = M.incr solve_nogoods
+let count_solve_nogood_hit () = M.incr solve_nogood_hits
+let count_solve_leaf () = M.incr solve_leaves
 
 (* Monotonic clock: a wall-clock source here (the old gettimeofday)
    could be stepped backwards by NTP mid-measure and record a negative
@@ -137,4 +172,20 @@ let pp ppf s =
     \  topological sorts     %d@,\
     \  wall time (all checks, summed across workers)  %a@]"
     s.checks s.rf_candidates s.co_candidates s.pruned s.toposorts pp_wall
-    s.wall_ns
+    s.wall_ns;
+  if
+    s.solve_decisions + s.solve_propagations + s.solve_conflicts
+    + s.solve_nogoods + s.solve_nogood_hits + s.solve_leaves
+    > 0
+  then
+    Format.fprintf ppf
+      "@,\
+       @[<v>solver statistics:@,\
+      \  decisions             %d@,\
+      \  propagated edges      %d@,\
+      \  conflicts             %d@,\
+      \  nogoods learned       %d@,\
+      \  nogood hits           %d@,\
+      \  leaf checks           %d@]"
+      s.solve_decisions s.solve_propagations s.solve_conflicts s.solve_nogoods
+      s.solve_nogood_hits s.solve_leaves

@@ -25,6 +25,18 @@ type snapshot = {
   wall_ns : int;
       (** wall time spent inside {!Model.check}, in nanoseconds, summed
           across concurrent workers (so it can exceed elapsed time) *)
+  solve_decisions : int;
+      (** variable assignments tried by the propagation engine *)
+  solve_propagations : int;
+      (** closure edges inserted by the solver's propagators *)
+  solve_conflicts : int;
+      (** cycles detected during propagation, before any leaf check *)
+  solve_nogoods : int;  (** nogoods learned from conflicts *)
+  solve_nogood_hits : int;
+      (** candidate assignments rejected by a learned nogood *)
+  solve_leaves : int;
+      (** fully assigned candidates validated by the exact per-model
+          leaf check *)
 }
 
 val reset : unit -> unit
@@ -50,6 +62,12 @@ val count_co : unit -> unit
 val add_pruned : int -> unit
 val count_toposort : unit -> unit
 val add_wall_ns : int -> unit
+val count_solve_decision : unit -> unit
+val add_solve_propagations : int -> unit
+val count_solve_conflict : unit -> unit
+val count_solve_nogood : unit -> unit
+val count_solve_nogood_hit : unit -> unit
+val count_solve_leaf : unit -> unit
 
 val time : (unit -> 'a) -> 'a
 (** Run the thunk and add its duration to {!snapshot} [wall_ns] (also

@@ -3,6 +3,18 @@ module Rel = Smem_relation.Rel
 
 type legality = By_value | By_writer of Reads_from.t
 
+exception Too_large of { nops : int; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Too_large { nops; limit } ->
+        Some
+          (Printf.sprintf
+             "View.Too_large: history has %d operations; the word-encoded \
+              legality search handles at most %d"
+             nops limit)
+    | _ -> None)
+
 let exists ?(memoize = true) h ~ops ~order ~legality =
   Smem_obs.Trace.span ~cat:"search"
     ~args:[ ("memoize", Smem_obs.Json.Bool memoize) ]
@@ -10,7 +22,7 @@ let exists ?(memoize = true) h ~ops ~order ~legality =
   @@ fun () ->
   let nops = History.nops h in
   if nops >= Sys.int_size then
-    invalid_arg "View.exists: history too large for the word-encoded search";
+    raise (Too_large { nops; limit = Sys.int_size - 1 });
   let ids = Array.of_list (Bitset.elements ops) in
   let n = Array.length ids in
   (* Predecessor masks: op [a] is ready once all its order-predecessors

@@ -12,7 +12,10 @@
 
     Histories must have at most [Sys.int_size - 1] operations (the
     placed set is encoded as one machine word); litmus-scale histories
-    are far below that bound. *)
+    are far below that bound.  Larger histories raise the typed
+    {!Too_large} — callers that face untrusted input (the serving
+    daemon) catch it and answer with a structured error instead of
+    dying. *)
 
 module Bitset = Smem_relation.Bitset
 module Rel = Smem_relation.Rel
@@ -25,6 +28,12 @@ type legality =
       (** A read is legal when the most recent write to its location is
           exactly the read's assigned writer ({!History.init} meaning
           "no write yet"). *)
+
+exception Too_large of { nops : int; limit : int }
+(** Raised by {!exists} when the history exceeds the word-encoded
+    search's capacity ([nops >= Sys.int_size]).  A typed exception
+    rather than [Invalid_argument]: the serving daemon maps it to a
+    [too-large] response code instead of crashing the worker. *)
 
 val exists :
   ?memoize:bool ->

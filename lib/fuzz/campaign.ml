@@ -8,9 +8,11 @@ type outcome = {
   histories : int;
   machine_runs : int;
   lattice_checks : int;
+  engine_checks : int;
   corpus_replays : int;
   violations : Oracle.violation list;
   certified : int;
+  cert_unverified_cap : int;
   cert_failures : string list;
 }
 
@@ -20,9 +22,11 @@ let empty =
     histories = 0;
     machine_runs = 0;
     lattice_checks = 0;
+    engine_checks = 0;
     corpus_replays = 0;
     violations = [];
     certified = 0;
+    cert_unverified_cap = 0;
     cert_failures = [];
   }
 
@@ -37,7 +41,17 @@ let absorb_violations acc violations =
       | None -> acc
       | Some c -> (
           match Smem_cert.Kernel.verify c with
-          | Ok _ -> { acc with certified = acc.certified + 1 }
+          | Ok Smem_cert.Kernel.Complete ->
+              { acc with certified = acc.certified + 1 }
+          | Ok (Smem_cert.Kernel.Unverified_cap _) ->
+              (* The kernel accepted on the frontier cross-check alone:
+                 count it apart so a campaign full of capped acceptances
+                 cannot read as fully re-verified. *)
+              {
+                acc with
+                certified = acc.certified + 1;
+                cert_unverified_cap = acc.cert_unverified_cap + 1;
+              }
           | Error e ->
               {
                 acc with
@@ -47,19 +61,24 @@ let absorb_violations acc violations =
               }))
     acc violations
 
-(* One history through the lattice oracle, with bookkeeping. *)
-let check_history ~service ~case acc h =
+(* One history through the lattice oracle (and, when configured, the
+   engines differential), with bookkeeping. *)
+let check_history ?(engines = false) ~service ~case acc h =
   let violations = Oracle.lattice ~service ~case h in
+  let violations =
+    if engines then violations @ Oracle.engines ~case h else violations
+  in
   absorb_violations
     {
       acc with
       histories = acc.histories + 1;
       lattice_checks = acc.lattice_checks + List.length (Figure5.pairs h);
+      engine_checks = (acc.engine_checks + if engines then 1 else 0);
     }
     violations
 
-let check_machine_trace ~service ~case acc machine h =
-  let acc = check_history ~service ~case acc h in
+let check_machine_trace ?engines ~service ~case acc machine h =
+  let acc = check_history ?engines ~service ~case acc h in
   let acc = { acc with machine_runs = acc.machine_runs + 1 } in
   match Oracle.soundness ~service ~case machine h with
   | None -> acc
@@ -74,8 +93,9 @@ let run_case ~service (c : Gen.config) i =
     "fuzz/case"
   @@ fun () ->
   let rand = Gen.case_rand c i in
+  let engines = c.engines in
   let acc = { empty with cases = 1 } in
-  let acc = check_history ~service ~case:i acc (Gen.history c ~rand) in
+  let acc = check_history ~engines ~service ~case:i acc (Gen.history c ~rand) in
   let acc =
     if not c.machines then acc
     else begin
@@ -83,7 +103,7 @@ let run_case ~service (c : Gen.config) i =
       List.fold_left
         (fun acc machine ->
           let h = Driver.run_random machine program ~rand in
-          check_machine_trace ~service ~case:i acc machine h)
+          check_machine_trace ~engines ~service ~case:i acc machine h)
         acc Machines.all
     end
   in
@@ -95,7 +115,7 @@ let run_case ~service (c : Gen.config) i =
           let h, _violated =
             Smem_lang.Explore.run_random machine program ~rand
           in
-          check_machine_trace ~service ~case:i acc machine h)
+          check_machine_trace ~engines ~service ~case:i acc machine h)
         acc Machines.all
     end
     else acc
@@ -108,7 +128,10 @@ let run_case ~service (c : Gen.config) i =
   | [] -> acc
   | corpus ->
       let t = List.nth corpus (i mod List.length corpus) in
-      let acc = check_history ~service ~case:i acc t.Smem_litmus.Test.history in
+      let acc =
+        check_history ~engines ~service ~case:i acc
+          t.Smem_litmus.Test.history
+      in
       { acc with corpus_replays = acc.corpus_replays + 1 }
 
 let merge a b =
@@ -117,9 +140,11 @@ let merge a b =
     histories = a.histories + b.histories;
     machine_runs = a.machine_runs + b.machine_runs;
     lattice_checks = a.lattice_checks + b.lattice_checks;
+    engine_checks = a.engine_checks + b.engine_checks;
     corpus_replays = a.corpus_replays + b.corpus_replays;
     violations = a.violations @ b.violations;
     certified = a.certified + b.certified;
+    cert_unverified_cap = a.cert_unverified_cap + b.cert_unverified_cap;
     cert_failures = a.cert_failures @ b.cert_failures;
   }
 
@@ -142,10 +167,13 @@ let pp_summary ppf o =
     "@[<v>fuzz campaign: %d case(s), %d history(ies) checked@,\
      machine replays        %d@,\
      containment checks     %d@,\
+     engine differentials   %d@,\
      corpus replays         %d@,\
      oracle violations      %d@,\
-     certificates verified  %d (%d kernel rejection(s))@]"
-    o.cases o.histories o.machine_runs o.lattice_checks o.corpus_replays
+     certificates verified  %d (%d kernel rejection(s), %d unverified-cap)@]"
+    o.cases o.histories o.machine_runs o.lattice_checks o.engine_checks
+    o.corpus_replays
     (List.length o.violations)
     o.certified
     (List.length o.cert_failures)
+    o.cert_unverified_cap

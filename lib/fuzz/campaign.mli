@@ -25,10 +25,17 @@ type outcome = {
   histories : int;  (** histories checked, all sources *)
   machine_runs : int;  (** machine random-schedule replays *)
   lattice_checks : int;  (** containment pairs evaluated *)
+  engine_checks : int;
+      (** histories put through the solver ≡ enumerator differential
+          ({!Oracle.engines}; requires [Gen.config.engines]) *)
   corpus_replays : int;  (** corpus tests replayed as standard load *)
   violations : Oracle.violation list;  (** in case order *)
   certified : int;
       (** violation certificates re-verified by {!Smem_cert.Kernel} *)
+  cert_unverified_cap : int;
+      (** of [certified], acceptances that were capped
+          ({!Smem_cert.Kernel.Unverified_cap}): the frontier matched but
+          the refutation was not re-enumerated *)
   cert_failures : string list;
       (** kernel rejections of emitted certificates — always empty
           unless the emitter and the kernel disagree *)

@@ -17,6 +17,7 @@ type config = {
   labels : labels;
   machines : bool;
   lang_every : int;
+  engines : bool;
   corpus : Smem_litmus.Test.t list;
 }
 
@@ -34,6 +35,7 @@ let default =
     labels = `Separated;
     machines = true;
     lang_every = 3;
+    engines = false;
     corpus = [];
   }
 

@@ -28,6 +28,10 @@ type config = {
   lang_every : int;
       (** additionally run a random [Smem_lang] program on every
           machine each [lang_every]-th case; [0] disables *)
+  engines : bool;
+      (** also differential-test the constraint-propagation engine
+          against each model's own enumeration ({!Oracle.engines}) on
+          every history the case checks *)
   corpus : Smem_litmus.Test.t list;
       (** standard load: case [i] additionally replays the history of
           test [i mod length] through the lattice oracle, so a corpus

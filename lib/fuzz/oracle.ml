@@ -10,6 +10,7 @@ module Cert = Smem_cert.Cert
 type kind =
   | Unsound of { machine : string; model : string }
   | Containment of { stronger : string; weaker : string }
+  | Engine_mismatch of { model : string; enum : bool; solve : bool }
 
 type violation = {
   kind : kind;
@@ -32,6 +33,7 @@ let query ?service model h =
 
 let sound_key machine = "sound:" ^ machine
 let pair_key s w = s ^ "<=" ^ w
+let engine_key model = "solve==enum:" ^ model
 
 (* The release-consistency models complete a case the paper leaves
    undefined — an acquire reading an ordinary write on a location that
@@ -149,12 +151,69 @@ let lattice ?service ?pairs ~case h =
       end)
     pairs
 
+(* The engines differential: for every model with a parameter triple,
+   the constraint-propagation engine and the model's own enumeration
+   must return the same verdict.  Deliberately bypasses the service
+   cache and {!Model.witness_of} dispatch — the point is to run BOTH
+   engines on the same history, whatever the process-global mode. *)
+let engines ~case h =
+  List.filter_map
+    (fun (m : Model.t) ->
+      let key = engine_key m.Model.key in
+      let differ h' =
+        Option.is_some (m.Model.witness h')
+        <> Option.is_some (Smem_solve.Solve.witness m h')
+      in
+      if not (differ h) then begin
+        Stats.count_fuzz_pass key;
+        None
+      end
+      else begin
+        Stats.count_fuzz_fail key;
+        let shrunk, steps = Shrink.shrink ~keep:differ h in
+        Stats.add_fuzz_shrink key steps;
+        let enum = Option.is_some (m.Model.witness shrunk) in
+        let test =
+          Test.of_history
+            ~name:
+              (Printf.sprintf "fuzz-engines-%s-case%d" m.Model.key case)
+            ~doc:
+              (Printf.sprintf
+                 "enumerator says %s under %s; the solver must agree"
+                 (if enum then "allowed" else "forbidden")
+                 m.Model.key)
+            ~expect:
+              [ (m.Model.key, if enum then Test.Allowed else Test.Forbidden) ]
+            shrunk
+        in
+        (* The enumerator's certificate for the shrunk repro: the kernel
+           arbitrates which engine is wrong. *)
+        let certificate = Cert.certify m ~name:test.Test.name shrunk in
+        Some
+          {
+            kind =
+              Engine_mismatch { model = m.Model.key; enum; solve = not enum };
+            case;
+            original = h;
+            shrunk;
+            shrink_steps = steps;
+            test;
+            certificate;
+          }
+      end)
+    Smem_core.Registry.certifiable
+
 let pp_kind ppf = function
   | Unsound { machine; model } ->
       Format.fprintf ppf "UNSOUND: machine %s escaped model %s" machine model
   | Containment { stronger; weaker } ->
       Format.fprintf ppf "CONTAINMENT BROKEN: %s allowed, %s rejected"
         stronger weaker
+  | Engine_mismatch { model; enum; solve } ->
+      let verdict b = if b then "allowed" else "forbidden" in
+      Format.fprintf ppf
+        "ENGINE MISMATCH under %s: enumeration says %s, solver says %s" model
+        (verdict enum) (verdict solve)
 
 let pp_violation ppf v =
   Format.fprintf ppf

@@ -25,6 +25,10 @@ type kind =
       (** the machine produced a history its model rejects *)
   | Containment of { stronger : string; weaker : string }
       (** a history allowed by [stronger] but rejected by [weaker] *)
+  | Engine_mismatch of { model : string; enum : bool; solve : bool }
+      (** the model's own enumeration and the constraint-propagation
+          engine ([Smem_solve]) disagree on the verdict ([true] =
+          allowed) *)
 
 type violation = {
   kind : kind;
@@ -73,6 +77,16 @@ val lattice :
     how the tests inject a deliberately flipped containment and assert
     the oracle catches it).  Model verdicts are memoized per call, so
     each model checks the history at most once. *)
+
+val engines : case:int -> Smem_core.History.t -> violation list
+(** Differential-test the two witness engines: for every model with a
+    parameter triple ({!Smem_core.Registry.certifiable}), the model's
+    own enumeration and [Smem_solve.Solve.witness] must agree on
+    whether the history is allowed.  Queries both engines directly
+    (no service cache — a cached verdict would mask a disagreement);
+    mismatches are shrunk under "the engines still disagree" and carry
+    the enumerator's certificate so the kernel can arbitrate.  Bumps
+    the fuzz counters under [solve==enum:<model>]. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 (** Kind, case, original and shrunk histories, and the litmus text. *)

@@ -74,6 +74,43 @@ let iter f t =
       done
   done
 
+(* Watched-index iteration: find the first member at or after a given
+   index without rescanning the words below it.  The solver's
+   propagation loops keep a per-row watch and resume from it, so a scan
+   over a sparse row costs O(words after the watch) instead of
+   O(capacity). *)
+let next t i =
+  if i >= t.capacity then -1
+  else begin
+    let i = max 0 i in
+    let w = ref (i / bits_per_word) in
+    let nwords = Array.length t.words in
+    (* Mask off the bits below [i] in its word, then skip empty words. *)
+    let word = ref (t.words.(!w) land lnot ((1 lsl (i mod bits_per_word)) - 1)) in
+    while !word = 0 && !w < nwords - 1 do
+      incr w;
+      word := t.words.(!w)
+    done;
+    if !word = 0 then -1
+    else begin
+      (* Lowest set bit of the word. *)
+      let bit = !word land - !word in
+      let b = ref 0 in
+      while bit lsr !b <> 1 do
+        incr b
+      done;
+      let r = (!w * bits_per_word) + !b in
+      if r >= t.capacity then -1 else r
+    end
+  end
+
+let iter_from f t i =
+  let j = ref (next t i) in
+  while !j >= 0 do
+    f !j;
+    j := next t (!j + 1)
+  done
+
 let fold f t init =
   let acc = ref init in
   iter (fun i -> acc := f i !acc) t;

@@ -52,6 +52,17 @@ val equal : t -> t -> bool
 val iter : (int -> unit) -> t -> unit
 (** Iterate elements in increasing order. *)
 
+val next : t -> int -> int
+(** [next s i] is the smallest member [>= i], or [-1] when there is
+    none.  The watched-index primitive: callers that remember where the
+    previous scan stopped resume from it instead of rescanning the
+    whole set (constraint propagation in [Smem_solve] iterates
+    successor rows this way). *)
+
+val iter_from : (int -> unit) -> t -> int -> unit
+(** [iter_from f s i] applies [f] to every member [>= i] in increasing
+    order, via {!next}. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val elements : t -> int list

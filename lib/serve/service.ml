@@ -227,11 +227,28 @@ let execute t = function
       let* payload = certify test model format in
       Ok ((payload, 0, 1))
 
+(* The view search raises the typed {!Smem_core.View.Too_large} on
+   histories past its word-encoding capacity.  Workers re-raise in the
+   parent ({!Smem_parallel.Pool.map}), so catching around [execute]
+   covers the parallel cells too; the client gets a structured
+   [too-large] instead of the catch-all [internal]. *)
+let execute_safe t req =
+  try execute t req
+  with Smem_core.View.Too_large { nops; limit } ->
+    Error
+      {
+        code = Response.Too_large;
+        message =
+          Printf.sprintf
+            "history has %d operations; the view search supports at most %d"
+            nops limit;
+      }
+
 let handle ?id t req =
   let t0 = t.clock () in
   let elapsed () = max 0 (t.clock () - t0) in
   let kind = Request.kind req in
-  match execute t req with
+  match execute_safe t req with
   | Ok (payload, cached, computed) ->
       { Response.id; kind; cached; computed; elapsed_ns = elapsed (); payload }
   | Error { code; message } ->

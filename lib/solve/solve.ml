@@ -1,0 +1,927 @@
+(* The constraint-propagation witness engine.
+
+   The enumerator answers "is there a legal view?" by walking the full
+   cartesian product of reads-from maps and coherence orders and running
+   the acyclicity/legality check on every complete candidate.  This
+   engine searches the same candidate space one variable at a time —
+   first a writer per read, then (where the model requires them) a
+   synchronization order and per-location/global write orders — and
+   after every decision propagates its consequences into incrementally
+   closed view graphs (Smem_relation.Closure).  A cycle in a view graph
+   refutes the whole subtree under the current partial assignment, so
+   conflicts prune exponentially many complete candidates at once;
+   conflicts found during the rf phase are additionally distilled into
+   nogoods (Nogood) reused across the rest of the search and, in the
+   incremental mode, across appended-history re-checks.
+
+   Correctness strategy: propagation only ever *prunes* — every edge it
+   inserts is implied, for every completion of the current partial
+   assignment, by the model's own candidate check (or by a sibling
+   candidate's rejection, see the forced-coherence argument below) — and
+   each fully assigned candidate is validated by a leaf check that is
+   the model's own per-candidate code, sharing its definitions
+   (Engine.check, View.exists, Rc.bracket_edges, ...).  Sound pruning
+   over the same exhaustively searched space, with the same acceptance
+   test at the leaves, gives verdict equivalence with the enumerator by
+   construction; the differential fuzz oracle then tests what the
+   argument claims. *)
+
+module Bitset = Smem_relation.Bitset
+module Rel = Smem_relation.Rel
+module Closure = Smem_relation.Closure
+module Perm = Smem_relation.Perm
+module H = Smem_core.History
+module Op = Smem_core.Op
+module Model = Smem_core.Model
+module Orders = Smem_core.Orders
+module Engine = Smem_core.Engine
+module View = Smem_core.View
+module Witness = Smem_core.Witness
+module Reads_from = Smem_core.Reads_from
+module Coherence = Smem_core.Coherence
+module Stats = Smem_core.Stats
+
+exception Unsupported
+(* A parameter triple no registered model carries; the caller falls
+   back to the model's own witness function. *)
+
+(* ------------------------------------------------------------------ *)
+(* What the parameter triple implies about the variable space          *)
+
+type co_mode = Co_none | Co_per_loc | Co_global
+
+let rf_needed (p : Model.params) =
+  p.Model.legality = Model.Writer_legal
+  || p.Model.ordering = Model.Causal_order
+  || p.Model.ordering = Model.Causal_plus_coherence
+
+let sync_needed (p : Model.params) =
+  match p.Model.mutual with
+  | Model.Labeled_sc | Model.Labeled_total -> true
+  | _ -> false
+
+let co_mode (p : Model.params) =
+  match p.Model.mutual with
+  | Model.Global_write_order -> Co_global
+  | _ ->
+      if
+        p.Model.legality = Model.Writer_legal
+        || p.Model.mutual = Model.Coherence_agreement
+      then Co_per_loc
+      else Co_none
+
+(* Models whose candidate filter is a *global* acyclicity/irreflexivity
+   condition (causal, coherent causal, PC-Goodman) propagate into one
+   shared graph; all others into one graph per view, because only a
+   cycle *within a view's operations* refutes a candidate there. *)
+let global_scope (p : Model.params) =
+  match p.Model.ordering with
+  | Model.Causal_order | Model.Causal_plus_coherence -> true
+  | Model.Program_order ->
+      p.Model.mutual = Model.Coherence_agreement
+      && p.Model.legality = Model.Value_legal
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Static structure                                                    *)
+
+(* The static (release) half of the RC bracket edges: ordinary
+   operations program-order-before a release precede it.  The acquire
+   half depends on the reads-from map and is propagated per decision. *)
+let release_brackets h =
+  let rel = Rel.create (H.nops h) in
+  for q = 0 to H.nprocs h - 1 do
+    let row = H.proc_ops h q in
+    Array.iteri
+      (fun i id ->
+        if Op.is_release (H.op h id) then
+          for j = 0 to i - 1 do
+            if Op.is_ordinary (H.op h row.(j)) then Rel.add rel row.(j) id
+          done)
+      row
+  done;
+  rel
+
+(* The rf-independent part of each view's required order — an
+   under-approximation of the leaf order wherever the full order
+   depends on the candidate (sem, causal, brackets), which is exactly
+   what sound pruning needs. *)
+let static_order h (p : Model.params) ~proc =
+  match p.Model.ordering with
+  | Model.Program_order -> Orders.po h
+  | Model.Po_plus_real_time -> Rel.union (Orders.po h) (Orders.real_time h)
+  | Model.Partial_program_order -> Orders.ppo h
+  | Model.Own_program_order -> Orders.po_of_proc h proc
+  | Model.Own_po_plus_po_loc ->
+      Rel.union (Orders.po_of_proc h proc) (Orders.po_loc h)
+  | Model.Semi_causal -> Orders.ppo h
+  | Model.Own_ppo_bracketed ->
+      Rel.union (Orders.ppo_of_proc h proc) (release_brackets h)
+  | Model.Sync_fences ->
+      Rel.union (Smem_core.Weak_ordering.fence_edges h) (Orders.po_loc h)
+  | Model.Causal_order | Model.Causal_plus_coherence -> Orders.po h
+
+type gview = {
+  vproc : int;
+  vops : Bitset.t;
+  base : Rel.t; (* static ∪ propagated edges, un-closed *)
+  cl : Closure.t; (* transitive closure of [base] *)
+}
+
+let make_gview h p ~proc ~ops =
+  let base = Rel.restrict (static_order h p ~proc) ops in
+  { vproc = proc; vops = ops; base; cl = Closure.of_rel base }
+
+let prop_views h (p : Model.params) =
+  let nops = H.nops h in
+  if global_scope p then
+    [| make_gview h p ~proc:(-1) ~ops:(H.all_ops_set h) |]
+  else
+    match p.Model.population with
+    | Model.Shared_all ->
+        [| make_gview h p ~proc:(-1) ~ops:(H.all_ops_set h) |]
+    | Model.Per_location ->
+        Array.init (H.nlocs h) (fun l ->
+            let ops = Bitset.create nops in
+            Array.iter
+              (fun (o : Op.t) -> if o.Op.loc = l then Bitset.add ops o.Op.id)
+              (H.ops h);
+            make_gview h p ~proc:(-1) ~ops)
+    | Model.Own_plus_writes ->
+        Array.init (H.nprocs h) (fun q ->
+            make_gview h p ~proc:q ~ops:(H.view_ops_writes h q))
+
+(* ------------------------------------------------------------------ *)
+(* Search state                                                        *)
+
+let unassigned = min_int
+
+type frame = {
+  snaps : Closure.snapshot array;
+  mutable added : (int * int * int) list; (* (view, u, v) inserted *)
+  mutable sups : (int * int * int) list; (* support entries recorded *)
+}
+
+type ctx = {
+  h : H.t;
+  params : Model.params;
+  views : gview array;
+  support : (int * int * int, int * int) Hashtbl.t;
+  store : Nogood.t;
+  writer : int array; (* read id -> writer id, [unassigned] otherwise *)
+  forced0 : Rel.t; (* rf-independent forced coherence pairs *)
+  mutable frames : frame list;
+  mutable found : Witness.t option;
+}
+
+let push ctx =
+  let fr =
+    {
+      snaps = Array.map (fun v -> Closure.snapshot v.cl) ctx.views;
+      added = [];
+      sups = [];
+    }
+  in
+  ctx.frames <- fr :: ctx.frames;
+  fr
+
+let pop ctx =
+  match ctx.frames with
+  | [] -> invalid_arg "Solve: pop on empty trail"
+  | fr :: rest ->
+      ctx.frames <- rest;
+      Array.iteri (fun i v -> Closure.restore v.cl fr.snaps.(i)) ctx.views;
+      List.iter (fun (i, u, v) -> Rel.remove ctx.views.(i).base u v) fr.added;
+      List.iter (fun key -> Hashtbl.remove ctx.support key) fr.sups
+
+(* The conflict reason: walk one base-graph path closing the cycle and
+   collect the (read, writer) supports of its propagated edges.  Static
+   edges have no support and contribute nothing — they hold in every
+   candidate — so the collected set alone is jointly infeasible. *)
+let reason ctx i u v sup =
+  let g = ctx.views.(i).base in
+  let n = Rel.size g in
+  let parent = Array.make (max 1 n) (-1) in
+  parent.(v) <- v;
+  let q = Queue.create () in
+  Queue.add v q;
+  while (not (Queue.is_empty q)) && parent.(u) < 0 do
+    let a = Queue.pop q in
+    Bitset.iter_from
+      (fun b ->
+        if parent.(b) < 0 then begin
+          parent.(b) <- a;
+          Queue.add b q
+        end)
+      (Rel.successors g a) 0
+  done;
+  let pairs = ref (match sup with Some p -> [ p ] | None -> []) in
+  if parent.(u) >= 0 then begin
+    let b = ref u in
+    while !b <> v do
+      let a = parent.(!b) in
+      (match Hashtbl.find_opt ctx.support (i, a, !b) with
+      | Some p -> pairs := p :: !pairs
+      | None -> ());
+      b := a
+    done
+  end;
+  !pairs
+
+(* Insert an edge into every view graph containing both endpoints.
+   Returns [Some reason] when some insertion closes a cycle. *)
+let add_edge ctx fr ?sup u v =
+  let conflict = ref None in
+  Array.iteri
+    (fun i gv ->
+      if
+        !conflict = None && u <> v
+        && Bitset.mem gv.vops u
+        && Bitset.mem gv.vops v
+        && not (Rel.mem gv.base u v)
+      then
+        if Closure.reaches gv.cl v u then
+          conflict := Some (reason ctx i u v sup)
+        else begin
+          Rel.add gv.base u v;
+          Closure.add gv.cl u v;
+          Stats.add_solve_propagations 1;
+          fr.added <- (i, u, v) :: fr.added;
+          match sup with
+          | Some p when not (Hashtbl.mem ctx.support (i, u, v)) ->
+              Hashtbl.add ctx.support (i, u, v) p;
+              fr.sups <- (i, u, v) :: fr.sups
+          | _ -> ()
+        end)
+    ctx.views;
+  !conflict
+
+let reaches_any ctx a b =
+  Array.exists
+    (fun gv ->
+      Bitset.mem gv.vops a && Bitset.mem gv.vops b && Closure.reaches gv.cl a b)
+    ctx.views
+
+(* Forced coherence pairs knowable before any decision: a write that
+   statically reaches a same-location (or, under a global write order,
+   any) write in some view must precede it in every coherence order we
+   enumerate — an order violating the pair would cycle that view at the
+   leaf, so restricting enumeration to respecting orders skips only
+   rejected candidates.  Crucially this is computed from static order
+   alone: from-read edges derived from it are supported by a single rf
+   pair, keeping conflict reasons (nogoods) honest. *)
+let forced_static h (p : Model.params) views =
+  let rel = Rel.create (H.nops h) in
+  let writes = Array.of_list (H.writes h) in
+  let relevant w1 w2 =
+    match co_mode p with
+    | Co_global -> true
+    | _ -> Op.same_loc (H.op h w1) (H.op h w2)
+  in
+  Array.iter
+    (fun w1 ->
+      Array.iter
+        (fun w2 ->
+          if w1 <> w2 && relevant w1 w2 then
+            let o1 = H.op h w1 and o2 = H.op h w2 in
+            if
+              (Op.same_proc o1 o2 && o1.Op.index < o2.Op.index)
+              || Array.exists
+                   (fun gv ->
+                     Bitset.mem gv.vops w1 && Bitset.mem gv.vops w2
+                     && Closure.reaches gv.cl w1 w2)
+                   views
+            then Rel.add rel w1 w2)
+        writes)
+    writes;
+  rel
+
+(* ------------------------------------------------------------------ *)
+(* Leaf checks: the models' own per-candidate code                     *)
+
+type co_choice = No_co | Per_loc of int array array | Global of int array
+
+let coherence_of h = function
+  | No_co -> invalid_arg "Solve: coherence required"
+  | Per_loc rows -> Coherence.of_write_order h (Array.concat (Array.to_list rows))
+  | Global worder -> Coherence.of_write_order h worder
+
+let by_value_views h ~order =
+  let rec go q acc =
+    if q = H.nprocs h then Some (List.rev acc)
+    else
+      match
+        View.exists h ~ops:(H.view_ops_writes h q) ~order
+          ~legality:View.By_value
+      with
+      | None -> None
+      | Some seq -> go (q + 1) ((q, seq) :: acc)
+  in
+  go 0 []
+
+let leaf_check h (p : Model.params) ~rf ~sync ~co =
+  Stats.count_solve_leaf ();
+  let nops = H.nops h in
+  let empty = Rel.create nops in
+  let get_rf () =
+    match rf with Some rf -> rf | None -> invalid_arg "Solve: rf required"
+  in
+  let own_views ~order =
+    List.init (H.nprocs h) (fun q ->
+        { Engine.proc = q; ops = H.view_ops_writes h q; order })
+  in
+  match
+    ( p.Model.population,
+      p.Model.ordering,
+      p.Model.mutual,
+      p.Model.legality )
+  with
+  | Model.Shared_all, Model.Program_order, Model.No_mutual, Model.Writer_legal
+    ->
+      (* sc *)
+      Engine.check h ~rf:(get_rf ()) ~co:(coherence_of h co) ~extra:empty
+        ~views:
+          [ { Engine.proc = -1; ops = H.all_ops_set h; order = Orders.po h } ]
+  | ( Model.Shared_all,
+      Model.Po_plus_real_time,
+      Model.No_mutual,
+      Model.Writer_legal ) ->
+      (* atomic *)
+      let order = Rel.union (Orders.po h) (Orders.real_time h) in
+      Engine.check h ~rf:(get_rf ()) ~co:(coherence_of h co) ~extra:empty
+        ~views:[ { Engine.proc = -1; ops = H.all_ops_set h; order } ]
+  | Model.Per_location, Model.Program_order, Model.No_mutual, Model.Writer_legal
+    ->
+      (* coh *)
+      let po = Orders.po h in
+      let loc_views =
+        List.init (H.nlocs h) (fun l ->
+            let ops = Bitset.create nops in
+            Array.iter
+              (fun (o : Op.t) -> if o.Op.loc = l then Bitset.add ops o.Op.id)
+              (H.ops h);
+            { Engine.proc = -1; ops; order = po })
+      in
+      Option.map
+        (fun w ->
+          {
+            w with
+            Witness.notes = "one serialization per location" :: w.Witness.notes;
+          })
+        (Engine.check h ~rf:(get_rf ()) ~co:(coherence_of h co) ~extra:empty
+           ~views:loc_views)
+  | ( Model.Own_plus_writes,
+      Model.Partial_program_order,
+      Model.Global_write_order,
+      Model.Writer_legal ) ->
+      (* tso *)
+      let worder =
+        match co with Global w -> w | _ -> invalid_arg "Solve: tso co"
+      in
+      let extra = Smem_core.Tso.chain_rel nops worder in
+      Option.map
+        (fun w ->
+          let note =
+            Format.asprintf "write order: %a" (H.pp_ops h)
+              (Array.to_list worder)
+          in
+          { w with Witness.notes = note :: w.Witness.notes })
+        (Engine.check h ~rf:(get_rf ()) ~co:(coherence_of h co) ~extra
+           ~views:(own_views ~order:(Orders.ppo h)))
+  | ( Model.Own_plus_writes,
+      Model.Semi_causal,
+      Model.Coherence_agreement,
+      Model.Writer_legal ) ->
+      (* pc *)
+      let rf = get_rf () in
+      let co = coherence_of h co in
+      let sem = Orders.sem_with h ~ppo:(Orders.ppo h) ~rf ~co in
+      Engine.check h ~rf ~co ~extra:empty ~views:(own_views ~order:sem)
+  | ( Model.Own_plus_writes,
+      Model.Own_ppo_bracketed,
+      (Model.Labeled_sc | Model.Labeled_pc),
+      Model.Writer_legal ) ->
+      (* rc-sc / rc-pc *)
+      let rf = get_rf () in
+      let co = coherence_of h co in
+      let bracket = Smem_core.Rc.bracket_edges h ~rf in
+      let views = Smem_core.Rc.base_views h in
+      let extra, sync, notes =
+        match p.Model.mutual with
+        | Model.Labeled_sc ->
+            let t_seq =
+              match sync with
+              | Some s -> s
+              | None -> invalid_arg "Solve: rc-sc sync"
+            in
+            let note =
+              Format.asprintf "labeled order: %a" (H.pp_ops h)
+                (Array.to_list t_seq)
+            in
+            ( Rel.union (Smem_core.Rc.total_order_rel nops t_seq) bracket,
+              Some (Array.to_list t_seq),
+              [ note ] )
+        | _ ->
+            let labeled_set = Bitset.of_list nops (H.labeled h) in
+            let sem_l = Orders.sem_within h ~members:labeled_set ~rf ~co in
+            (Rel.union sem_l bracket, None, [])
+      in
+      Option.map
+        (fun w -> { w with Witness.sync; notes = notes @ w.Witness.notes })
+        (Engine.check h ~rf ~co ~extra ~views)
+  | ( Model.Own_plus_writes,
+      Model.Sync_fences,
+      Model.Labeled_total,
+      Model.Value_legal ) ->
+      (* wo *)
+      let t_seq =
+        match sync with Some s -> s | None -> invalid_arg "Solve: wo sync"
+      in
+      let fence =
+        Rel.union (Smem_core.Weak_ordering.fence_edges h) (Orders.po_loc h)
+      in
+      let order =
+        Rel.union fence (Smem_core.Weak_ordering.total_order_rel nops t_seq)
+      in
+      Option.map
+        (fun views ->
+          let note =
+            Format.asprintf "synchronization order: %a" (H.pp_ops h)
+              (Array.to_list t_seq)
+          in
+          Witness.per_proc ~sync:(Array.to_list t_seq) views ~notes:[ note ])
+        (by_value_views h ~order)
+  | ( Model.Own_plus_writes,
+      Model.Program_order,
+      Model.Coherence_agreement,
+      Model.Value_legal ) ->
+      (* pc-g *)
+      let order = Rel.union (Orders.po h) (Coherence.to_rel (coherence_of h co)) in
+      if not (Rel.acyclic order) then None
+      else
+        Option.map
+          (fun views -> Witness.per_proc views ~notes:[])
+          (by_value_views h ~order)
+  | Model.Own_plus_writes, Model.Causal_order, Model.No_mutual, Model.Value_legal
+    ->
+      (* causal *)
+      let rf = get_rf () in
+      let causal = Orders.causal_with h ~po:(Orders.po h) ~rf in
+      if not (Rel.irreflexive causal) then None
+      else
+        Option.map
+          (fun views ->
+            let note =
+              Format.asprintf "writes-before: %a" (Reads_from.pp h) rf
+            in
+            Witness.per_proc ~rf:(Reads_from.pairs h rf) views ~notes:[ note ])
+          (Smem_core.Causal.views_for h ~order:causal)
+  | ( Model.Own_plus_writes,
+      Model.Causal_plus_coherence,
+      Model.Coherence_agreement,
+      Model.Value_legal ) ->
+      (* causal-coh *)
+      let rf = get_rf () in
+      let causal = Orders.causal h ~rf in
+      if not (Rel.irreflexive causal) then None
+      else
+        let order =
+          Rel.transitive_closure
+            (Rel.union causal (Coherence.to_rel (coherence_of h co)))
+        in
+        if not (Rel.irreflexive order) then None
+        else
+          Option.map
+            (fun views ->
+              Witness.per_proc ~rf:(Reads_from.pairs h rf) views ~notes:[])
+            (by_value_views h ~order)
+  | Model.Own_plus_writes, Model.Program_order, Model.No_mutual, Model.Value_legal
+    ->
+      (* pram *)
+      Option.map
+        (fun views -> Witness.per_proc views ~notes:[])
+        (by_value_views h ~order:(Orders.po h))
+  | ( Model.Own_plus_writes,
+      Model.Own_po_plus_po_loc,
+      Model.No_mutual,
+      Model.Value_legal ) ->
+      (* slow *)
+      let po_loc = Orders.po_loc h in
+      let rec go q acc =
+        if q = H.nprocs h then
+          Some (Witness.per_proc (List.rev acc) ~notes:[])
+        else
+          let order = Rel.union (Orders.po_of_proc h q) po_loc in
+          match
+            View.exists h ~ops:(H.view_ops_writes h q) ~order
+              ~legality:View.By_value
+          with
+          | None -> None
+          | Some seq -> go (q + 1) ((q, seq) :: acc)
+      in
+      go 0 []
+  | ( Model.Own_plus_writes,
+      Model.Own_program_order,
+      Model.No_mutual,
+      Model.Value_legal ) ->
+      (* local *)
+      let rec go q acc =
+        if q = H.nprocs h then
+          Some (Witness.per_proc (List.rev acc) ~notes:[])
+        else
+          match
+            View.exists h ~ops:(H.view_ops_writes h q)
+              ~order:(Orders.po_of_proc h q) ~legality:View.By_value
+          with
+          | None -> None
+          | Some seq -> go (q + 1) ((q, seq) :: acc)
+      in
+      go 0 []
+  | _ -> raise Unsupported
+
+(* ------------------------------------------------------------------ *)
+(* The search                                                          *)
+
+let run ctx =
+  let h = ctx.h in
+  let p = ctx.params in
+  let nops = H.nops h in
+  let writer_legal = p.Model.legality = Model.Writer_legal in
+  let assigned r w = ctx.writer.(r) = w in
+  let accept w =
+    ctx.found <- Some w;
+    true
+  in
+  let leaf ~sync ~co =
+    let rf =
+      if rf_needed p then
+        Some (Reads_from.make h ~writer:(fun r -> ctx.writer.(r)))
+      else None
+    in
+    match leaf_check h p ~rf ~sync ~co with
+    | Some w -> accept w
+    | None -> false
+  in
+  (* -------- coherence phase -------- *)
+  let reads_of_loc l =
+    List.filter (fun r -> (H.op h r).Op.loc = l) (H.reads h)
+  in
+  let add_chain fr order =
+    let conflict = ref None in
+    for i = 0 to Array.length order - 2 do
+      if !conflict = None then
+        conflict := add_edge ctx fr order.(i) order.(i + 1)
+    done;
+    !conflict
+  in
+  (* From-read edges implied by a just-chosen write order: each read
+     precedes the first same-location write after its writer (init
+     readers precede the first same-location write outright); the
+     order's chain edges carry the rest transitively, because every
+     write belongs to every view that contains the read. *)
+  let add_fr fr loc order =
+    let conflict = ref None in
+    if writer_legal then
+      List.iter
+        (fun r ->
+          if !conflict = None then begin
+            let w = ctx.writer.(r) in
+            let n = Array.length order in
+            let rec first_at_loc i =
+              if i >= n then None
+              else if (H.op h order.(i)).Op.loc = loc then Some order.(i)
+              else first_at_loc (i + 1)
+            in
+            let next =
+              if w = H.init then first_at_loc 0
+              else
+                let rec after i =
+                  if i >= n then None
+                  else if order.(i) = w then first_at_loc (i + 1)
+                  else after (i + 1)
+                in
+                after 0
+            in
+            match next with
+            | Some w' -> conflict := add_edge ctx fr ~sup:(r, w) r w'
+            | None -> ()
+          end)
+        (reads_of_loc loc);
+    !conflict
+  in
+  let co_precedes a b =
+    Smem_core.Tso.write_po h a b
+    || Rel.mem ctx.forced0 a b
+    || reaches_any ctx a b
+  in
+  let co_phase ~sync =
+    match co_mode p with
+    | Co_none -> leaf ~sync ~co:No_co
+    | Co_global ->
+        let writes = Array.of_list (H.writes h) in
+        Perm.iter_constrained writes ~precedes:co_precedes ~f:(fun worder ->
+            Stats.count_solve_decision ();
+            let fr = push ctx in
+            let conflict =
+              match add_chain fr worder with
+              | Some _ as c -> c
+              | None ->
+                  let c = ref None in
+                  for l = 0 to H.nlocs h - 1 do
+                    if !c = None then c := add_fr fr l worder
+                  done;
+                  !c
+            in
+            match conflict with
+            | Some _ ->
+                Stats.count_solve_conflict ();
+                pop ctx;
+                false
+            | None ->
+                let ok = leaf ~sync ~co:(Global (Array.copy worder)) in
+                if not ok then pop ctx;
+                ok)
+    | Co_per_loc ->
+        let nlocs = H.nlocs h in
+        let per_loc =
+          Array.init nlocs (fun l -> Array.of_list (H.writes_to h l))
+        in
+        let chosen = Array.make (max 1 nlocs) [||] in
+        let rec go l =
+          if l = nlocs then leaf ~sync ~co:(Per_loc chosen)
+          else
+            Perm.iter_constrained per_loc.(l) ~precedes:co_precedes
+              ~f:(fun ord ->
+                Stats.count_solve_decision ();
+                let fr = push ctx in
+                let conflict =
+                  match add_chain fr ord with
+                  | Some _ as c -> c
+                  | None -> add_fr fr l ord
+                in
+                match conflict with
+                | Some _ ->
+                    Stats.count_solve_conflict ();
+                    pop ctx;
+                    false
+                | None ->
+                    chosen.(l) <- Array.copy ord;
+                    let ok = go (l + 1) in
+                    if not ok then pop ctx;
+                    ok)
+        in
+        go 0
+  in
+  (* -------- synchronization phase -------- *)
+  let sync_phase () =
+    if not (sync_needed p) then co_phase ~sync:None
+    else begin
+      let labeled = Array.of_list (H.labeled h) in
+      let m = Array.length labeled in
+      let po = Orders.po h in
+      let used = Array.make (max 1 nops) false in
+      let seq = Array.make (max 1 m) (-1) in
+      let last = Array.make (max 1 (H.nlocs h)) H.init in
+      (* Prefix legality of the labeled order under Labeled_sc —
+         exactly Rc.labeled_seq_legal, checked as the sequence grows. *)
+      let prefix_ok l =
+        p.Model.mutual <> Model.Labeled_sc
+        ||
+        let op = H.op h l in
+        Op.is_write op
+        ||
+        let w = ctx.writer.(l) in
+        if w = H.init then last.(op.Op.loc) = H.init
+        else if Op.is_labeled (H.op h w) then last.(op.Op.loc) = w
+        else true
+      in
+      let rec go depth =
+        if depth = m then co_phase ~sync:(Some (Array.sub seq 0 m))
+        else begin
+          let ok = ref false in
+          Array.iter
+            (fun l ->
+              if (not !ok) && not used.(l) then begin
+                let available =
+                  Array.for_all
+                    (fun l' ->
+                      used.(l') || l' = l
+                      || not (Rel.mem po l' l || reaches_any ctx l' l))
+                    labeled
+                in
+                if available && prefix_ok l then begin
+                  Stats.count_solve_decision ();
+                  let fr = push ctx in
+                  used.(l) <- true;
+                  seq.(depth) <- l;
+                  let lop = H.op h l in
+                  let saved = last.(lop.Op.loc) in
+                  if Op.is_write lop then last.(lop.Op.loc) <- l;
+                  let conflict = ref None in
+                  for i = 0 to depth - 1 do
+                    if !conflict = None then
+                      conflict := add_edge ctx fr seq.(i) l
+                  done;
+                  (match !conflict with
+                  | Some _ -> Stats.count_solve_conflict ()
+                  | None -> if go (depth + 1) then ok := true);
+                  if not !ok then begin
+                    used.(l) <- false;
+                    last.(lop.Op.loc) <- saved;
+                    pop ctx
+                  end
+                end
+              end)
+            labeled;
+          !ok
+        end
+      in
+      go 0
+    end
+  in
+  (* -------- reads-from phase -------- *)
+  if not (rf_needed p) then sync_phase ()
+  else begin
+    let reads = Array.of_list (H.reads h) in
+    let cands =
+      Array.map (fun r -> Array.of_list (Reads_from.candidates h r)) reads
+    in
+    if Array.exists (fun c -> Array.length c = 0) cands then begin
+      (* Some read returns a value nobody wrote: same short-circuit as
+         the enumerator. *)
+      Stats.add_pruned 1;
+      false
+    end
+    else begin
+      (* Fail-first: decide the most constrained reads first.  Nogoods
+         are assignment-sets, so variable order is free. *)
+      let order = Array.init (Array.length reads) Fun.id in
+      Array.sort
+        (fun i j -> compare (Array.length cands.(i)) (Array.length cands.(j)))
+        order;
+      let bracketed = p.Model.ordering = Model.Own_ppo_bracketed in
+      let acquire_ok r w =
+        (not bracketed)
+        || (not (Op.is_acquire (H.op h r)))
+        || w = H.init
+        || Op.is_labeled (H.op h w)
+        || List.for_all
+             (fun w' -> Op.is_ordinary (H.op h w'))
+             (H.writes_to h (H.op h r).Op.loc)
+      in
+      let propagate_rf fr r w =
+        let sup = (r, w) in
+        let conflict = ref None in
+        let add u v = if !conflict = None then conflict := add_edge ctx fr ~sup u v in
+        if w <> H.init then add w r;
+        if writer_legal then begin
+          let loc = (H.op h r).Op.loc in
+          if w = H.init then
+            (* fr: an init reader precedes every write to the location. *)
+            List.iter (fun w' -> if w' <> r then add r w') (H.writes_to h loc)
+          else
+            (* fr through coherence pairs already forced statically. *)
+            List.iter
+              (fun w' -> if Rel.mem ctx.forced0 w w' then add r w')
+              (H.writes_to h loc);
+          if bracketed && Op.is_acquire (H.op h r) && w <> H.init then begin
+            (* The acquire half of the RC brackets. *)
+            let row = H.proc_ops h (H.op h r).Op.proc in
+            let idx = (H.op h r).Op.index in
+            Array.iteri
+              (fun i o ->
+                if i > idx && Op.is_ordinary (H.op h o) then add w o)
+              row
+          end
+        end;
+        !conflict
+      in
+      let rec assign k =
+        if k = Array.length order then sync_phase ()
+        else begin
+          let r = reads.(order.(k)) in
+          let cs = cands.(order.(k)) in
+          let ok = ref false in
+          let j = ref 0 in
+          while (not !ok) && !j < Array.length cs do
+            let w = cs.(!j) in
+            incr j;
+            if acquire_ok r w then
+              if Nogood.blocks ctx.store ~assigned (r, w) then
+                Stats.count_solve_nogood_hit ()
+              else begin
+                Stats.count_solve_decision ();
+                let fr = push ctx in
+                ctx.writer.(r) <- w;
+                (match propagate_rf fr r w with
+                | Some why ->
+                    Stats.count_solve_conflict ();
+                    if Nogood.learn ctx.store why then
+                      Stats.count_solve_nogood ()
+                | None -> if assign (k + 1) then ok := true);
+                if not !ok then begin
+                  ctx.writer.(r) <- unassigned;
+                  pop ctx
+                end
+              end
+          done;
+          !ok
+        end
+      in
+      assign 0
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let witness_params ?(store : Nogood.t option) (p : Model.params) h =
+  let store = match store with Some s -> s | None -> Nogood.create () in
+  let views = prop_views h p in
+  let ctx =
+    {
+      h;
+      params = p;
+      views;
+      support = Hashtbl.create 64;
+      store;
+      writer = Array.make (max 1 (H.nops h)) unassigned;
+      forced0 =
+        (match co_mode p with
+        | Co_none -> Rel.create (H.nops h)
+        | _ -> forced_static h p views);
+      frames = [];
+      found = None;
+    }
+  in
+  let (_ : bool) = run ctx in
+  ctx.found
+
+let witness_with ?store (m : Model.t) h =
+  match m.Model.params with
+  | None -> m.Model.witness h
+  | Some p -> (
+      Smem_obs.Trace.span ~cat:"solve"
+        ~args:
+          [
+            ("model", Smem_obs.Json.Str m.Model.key);
+            ("nops", Smem_obs.Json.Int (H.nops h));
+          ]
+        ("solve/" ^ m.Model.key)
+      @@ fun () ->
+      try witness_params ?store p h with Unsupported -> m.Model.witness h)
+
+let witness m h = witness_with m h
+let check m h = Option.is_some (witness m h)
+let install () = Model.register_solver witness
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-checking                                             *)
+
+module Inc = struct
+  type t = {
+    model : Model.t;
+    store : Nogood.t;
+    mutable prev : H.t option;
+    mutable reused : int;
+  }
+
+  let create model = { model; store = Nogood.create (); prev = None; reused = 0 }
+
+  (* [h] extends [prev] when every existing operation is unchanged —
+     same processor, index, kind, value, attribute, and location name.
+     History.make numbers operations row-major, so appending operations
+     to the last processor or adding processors preserves existing ids,
+     which is what keeps stored nogoods meaningful.  Timing is excluded:
+     real-time edges between old operations could change. *)
+  let extends ~prev h =
+    H.nops h >= H.nops prev
+    && H.nprocs h >= H.nprocs prev
+    && (not (H.has_timing prev))
+    && (not (H.has_timing h))
+    &&
+    try
+      for id = 0 to H.nops prev - 1 do
+        let a = H.op prev id and b = H.op h id in
+        if
+          not
+            (a.Op.proc = b.Op.proc && a.Op.index = b.Op.index
+           && a.Op.kind = b.Op.kind && a.Op.value = b.Op.value
+           && a.Op.attr = b.Op.attr
+            && String.equal (H.loc_name prev a.Op.loc) (H.loc_name h b.Op.loc))
+        then raise Exit
+      done;
+      true
+    with Exit -> false
+
+  let witness t h =
+    (match t.prev with
+    | Some prev when extends ~prev h -> t.reused <- t.reused + 1
+    | _ -> Nogood.clear t.store);
+    t.prev <- Some h;
+    witness_with ~store:t.store t.model h
+
+  let check t h = Option.is_some (witness t h)
+  let nogoods t = Nogood.size t.store
+  let reuses t = t.reused
+end

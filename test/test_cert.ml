@@ -81,7 +81,7 @@ let kernel_accepts_corpus () =
           if H.nops (Cert.history c) <= Kernel.default_max_search_ops then
             check Alcotest.bool
               (Printf.sprintf "%s/%s complete" test mkey)
-              true a.Kernel.complete
+              true (a = Kernel.Complete)
       | Error e -> Alcotest.failf "%s/%s rejected: %s" test mkey e)
     (Lazy.force corpus_certs);
   check Alcotest.bool "matrix is non-trivial" true (!n > 100)
@@ -202,6 +202,36 @@ let mutate_forged_forbidden () =
       evidence = Cert.Frontier { rf_maps; co_orders };
     }
 
+(* A forbidden certificate above the re-search cap must be accepted with
+   the explicit [Unverified_cap] status — never silently as [Complete] —
+   and raising the cap must upgrade it to a full acceptance. *)
+let cap_surfaces_unverified () =
+  (* co-pump(4): 10 operations, forbidden under SC (the reads see the
+     first chain's writes in inverted order). *)
+  let h =
+    H.make
+      [
+        List.init 4 (fun i -> H.write "x" (i + 1));
+        List.init 4 (fun i -> H.write "x" (5 + i));
+        [ H.read "x" 2; H.read "x" 1 ];
+      ]
+  in
+  let c = certified (model "sc") h in
+  check Alcotest.bool "forbidden" true (c.Cert.verdict = Cert.Forbidden);
+  (match Kernel.verify c with
+  | Ok (Kernel.Unverified_cap { nops; max_search_ops }) ->
+      check Alcotest.int "reported nops" (H.nops h) nops;
+      check Alcotest.int "reported cap" Kernel.default_max_search_ops
+        max_search_ops
+  | Ok Kernel.Complete ->
+      Alcotest.fail "capped acceptance misreported as Complete"
+  | Error e -> Alcotest.failf "kernel rejected: %s" e);
+  match Kernel.verify ~max_search_ops:(H.nops h) c with
+  | Ok Kernel.Complete -> ()
+  | Ok (Kernel.Unverified_cap _) ->
+      Alcotest.fail "raised cap still reported Unverified_cap"
+  | Error e -> Alcotest.failf "kernel rejected with raised cap: %s" e
+
 (* ---------------- independent search sanity ---------------- *)
 
 let search_matches_engine () =
@@ -234,6 +264,7 @@ let () =
           tc "accepts every engine certificate" kernel_accepts_corpus;
           tc "operational models are uncertifiable" certify_skips_operational;
           tc "independent search matches the engine" search_matches_engine;
+          tc "search cap surfaces Unverified_cap" cap_surfaces_unverified;
         ] );
       ( "adversarial",
         [

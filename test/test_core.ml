@@ -442,7 +442,7 @@ let oversized_history_rejected () =
   let row = List.init 70 (fun i -> H.write "x" (i + 1)) in
   let h = H.make [ row ] in
   Alcotest.check_raises "View.exists guards its encoding"
-    (Invalid_argument "View.exists: history too large for the word-encoded search")
+    (Smem_core.View.Too_large { nops = 70; limit = Sys.int_size - 1 })
     (fun () ->
       ignore
         (View.exists h ~ops:(H.all_ops_set h) ~order:(Orders.po h)

@@ -234,7 +234,7 @@ module Cert = Smem_cert.Cert
 module Kernel = Smem_cert.Kernel
 
 (* Histories of at most 8 operations so the kernel's independent
-   enumeration always re-runs forbidden refutations (complete = true). *)
+   enumeration always re-runs forbidden refutations (Kernel.Complete). *)
 let gen_small_history =
   let open QCheck.Gen in
   let event =
@@ -261,7 +261,7 @@ let prop_certificates_accepted =
           | None -> QCheck.Test.fail_reportf "%s not certifiable" m.Model.key
           | Some c -> (
               match Kernel.verify c with
-              | Ok a -> a.Kernel.complete
+              | Ok a -> a = Kernel.Complete
               | Error e ->
                   QCheck.Test.fail_reportf "%s rejected: %s" m.Model.key e))
         Registry.certifiable)

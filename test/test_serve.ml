@@ -269,6 +269,51 @@ let service_errors () =
     ((Service.handle ~id:9 s (Request.Corpus { models = [ "sc" ] })).Response.id
     = Some 9)
 
+(* A history at the view search's word-encoding boundary must come back
+   as a structured [Too_large] error, not crash the daemon (the search
+   raises the typed {!Smem_core.View.Too_large} and the service catches
+   exactly that).  One below the boundary must still answer verdicts. *)
+let service_too_large_boundary () =
+  let s = Service.create () in
+  let inline n =
+    (* n writes of distinct values on one processor: the single-view
+       By_value search answers instantly when it runs at all. *)
+    let h = H.make [ List.init n (fun i -> H.write "x" (i + 1)) ] in
+    let test =
+      {
+        Smem_litmus.Test.name = Printf.sprintf "boundary%d" n;
+        doc = "";
+        history = h;
+        expectations = [];
+      }
+    in
+    Request.Inline (Smem_litmus.Print.to_string test)
+  in
+  (* pram routes every processor through View.exists (By_value). *)
+  let at = Service.handle s (Request.Check { test = inline Sys.int_size; models = [ "pram" ] }) in
+  (match at.Response.payload with
+  | Response.Error { code = Response.Too_large; message } ->
+      check Alcotest.bool "message names the limit" true
+        (let limit = string_of_int (Sys.int_size - 1) in
+         let rec mem i =
+           i + String.length limit <= String.length message
+           && (String.sub message i (String.length limit) = limit
+              || mem (i + 1))
+         in
+         mem 0)
+  | Response.Error { code; _ } ->
+      Alcotest.failf "wrong error code %s" (Response.error_code_to_string code)
+  | _ -> Alcotest.fail "expected a Too_large error at the boundary");
+  let below =
+    Service.handle s
+      (Request.Check { test = inline (Sys.int_size - 1); models = [ "pram" ] })
+  in
+  match below.Response.payload with
+  | Response.Verdicts [ v ] ->
+      check Alcotest.bool "below the boundary answers" true
+        (v.Verdict.status = Some Verdict.Allowed)
+  | _ -> Alcotest.fail "expected a verdict below the boundary"
+
 (* ---------------- server loop ---------------- *)
 
 (* Drive the NDJSON loop through temp files (the loop takes plain
@@ -680,6 +725,8 @@ let () =
       ( "service",
         tc "corpus twice: warm pass cached, verdicts stable" corpus_twice
         :: tc "structured errors" service_errors
+        :: tc "view-search boundary answers Too_large"
+             service_too_large_boundary
         :: List.map QCheck_alcotest.to_alcotest
              [ cached_equals_fresh; service_renaming_hits ] );
       ( "server",

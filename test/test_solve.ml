@@ -1,0 +1,232 @@
+(* Tests of the constraint-propagation witness engine (lib/solve):
+
+   - verdict equivalence with each model's own rf × co enumeration,
+     over the built-in litmus corpus, a 500-test generated
+     smem-corpus/1 load, and qcheck random histories (shrunk on
+     failure) — the engine replicates every model's leaf predicate
+     exactly, and these suites pin that down;
+   - the co-pump family the bench section measures: forbidden under SC
+     for every k >= 2, allowed at k = 1;
+   - witness reusability: a solver witness re-checks under the
+     enumeration engine's kernel, and certificates emitted while the
+     solve engine is selected still verify;
+   - incremental mode: rechecking a history extended one operation at
+     a time agrees with solving each prefix from scratch, and actually
+     reuses the nogood store along the chain. *)
+
+module H = Smem_core.History
+module Op = Smem_core.Op
+module Model = Smem_core.Model
+module Registry = Smem_core.Registry
+module Witness = Smem_core.Witness
+module Test = Smem_litmus.Test
+module Corpus = Smem_litmus.Corpus
+module Cert = Smem_cert.Cert
+module Kernel = Smem_cert.Kernel
+module Solve = Smem_solve.Solve
+module Helpers = Smem_testlib.Helpers
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let model key =
+  match Registry.find key with
+  | Some m -> m
+  | None -> Alcotest.failf "unknown model %s" key
+
+(* The engines under comparison: the model's own enumeration on one
+   side, the propagation engine on the other. *)
+let enum_allows (m : Model.t) h = Option.is_some (m.Model.witness h)
+let solve_allows (m : Model.t) h = Solve.check m h
+
+let agree_everywhere ~what h =
+  List.iter
+    (fun (m : Model.t) ->
+      let enum = enum_allows m h and solve = solve_allows m h in
+      if enum <> solve then
+        Alcotest.failf "%s: %s disagrees (enum %b, solve %b) on:\n%s" what
+          m.Model.key enum solve
+          (Format.asprintf "%a" H.pp h))
+    Registry.certifiable
+
+(* ---------------- corpus differentials ---------------- *)
+
+let builtin_corpus_cases =
+  List.map
+    (fun (t : Test.t) ->
+      tc t.Test.name (fun () ->
+          agree_everywhere ~what:t.Test.name t.Test.history))
+    Corpus.all
+
+(* The standard load: 500 deduplicated machine-execution tests, every
+   certifiable model, both engines (the same differential `smem fuzz
+   --engines --corpus` runs in CI). *)
+let generated_corpus_differential () =
+  let tests = Smem_corpus.Corpus.generate ~seed:42 ~count:500 ~max_ops:8 () in
+  check Alcotest.int "load size" 500 (List.length tests);
+  List.iter
+    (fun (t : Test.t) -> agree_everywhere ~what:t.Test.name t.Test.history)
+    tests
+
+(* ---------------- random differentials ---------------- *)
+
+let prop_random_histories =
+  QCheck.Test.make ~name:"solver = enumerator on random histories"
+    ~count:300
+    (Helpers.arb_history ~labeled_allowed:`Mixed ())
+    (fun h ->
+      agree_everywhere ~what:"random" h;
+      true)
+
+let prop_random_separated =
+  (* The separated discipline exercises the labeled models' sync phase
+     (Labeled_sc / Labeled_total availability and prefix legality). *)
+  QCheck.Test.make ~name:"solver = enumerator under separated labels"
+    ~count:200
+    (Helpers.arb_history ~labeled_allowed:`Separated ())
+    (fun h ->
+      agree_everywhere ~what:"separated" h;
+      true)
+
+(* ---------------- the co-pump family ---------------- *)
+
+let co_pump k =
+  H.make
+    [
+      List.init k (fun i -> H.write "x" (i + 1));
+      List.init k (fun i -> H.write "x" (k + i + 1));
+      [ H.read "x" 2; H.read "x" 1 ];
+    ]
+
+let co_pump_family () =
+  check Alcotest.bool "k=1 allowed under sc" true
+    (solve_allows (model "sc") (co_pump 1));
+  for k = 2 to 5 do
+    check Alcotest.bool
+      (Printf.sprintf "k=%d forbidden under sc" k)
+      false
+      (solve_allows (model "sc") (co_pump k));
+    agree_everywhere ~what:(Printf.sprintf "co-pump(%d)" k) (co_pump k)
+  done
+
+(* ---------------- witnesses and certificates ---------------- *)
+
+(* A witness found by the solver is evidence, not just a verdict: the
+   certificate kernel must accept a certificate built from it.  Run
+   with the solve engine selected process-wide, then restore. *)
+let solver_certificates_verify () =
+  Solve.install ();
+  Model.set_engine Model.Solve;
+  Fun.protect
+    ~finally:(fun () -> Model.set_engine Model.Enum)
+    (fun () ->
+      let n = ref 0 in
+      List.iter
+        (fun (t : Test.t) ->
+          List.iter
+            (fun (m : Model.t) ->
+              match Cert.certify m t.Test.history with
+              | None -> ()
+              | Some c -> (
+                  incr n;
+                  match Kernel.verify c with
+                  | Ok _ -> ()
+                  | Error e ->
+                      Alcotest.failf "%s/%s: kernel rejected: %s" t.Test.name
+                        m.Model.key e))
+            Registry.certifiable)
+        Corpus.all;
+      check Alcotest.bool "matrix is non-trivial" true (!n > 100))
+
+(* ---------------- incremental mode ---------------- *)
+
+(* Rebuild the event of an operation (loc names survive re-interning;
+   arb histories are untimed, as Inc requires). *)
+let event_of h (o : Op.t) =
+  let labeled = Op.is_labeled o in
+  let loc = H.loc_name h o.Op.loc in
+  match o.Op.kind with
+  | Op.Read -> H.read ~labeled loc o.Op.value
+  | Op.Write -> H.write ~labeled loc o.Op.value
+
+(* The extension chain of a history: first processor's first operation,
+   then one more operation per step (finishing a processor before
+   starting the next), ending at the full history.  Every step appends
+   to the last row or adds a row, so ids stay stable — exactly the
+   shape [Inc.extends] accepts. *)
+let prefix_chain h =
+  let rows =
+    List.init (H.nprocs h) (fun p ->
+        Array.to_list (H.proc_ops h p) |> List.map (fun id -> event_of h (H.op h id)))
+  in
+  let chain = ref [] in
+  let done_rows = ref [] in
+  List.iter
+    (fun row ->
+      let partial = ref [] in
+      List.iter
+        (fun ev ->
+          partial := !partial @ [ ev ];
+          chain := (List.rev !done_rows @ [ !partial ]) :: !chain)
+        row;
+      done_rows := !partial :: !done_rows)
+    rows;
+  List.rev_map H.make !chain
+
+let prop_incremental =
+  QCheck.Test.make ~name:"incremental recheck = from-scratch" ~count:60
+    (Helpers.arb_history ~labeled_allowed:`Mixed ~max_procs:3 ~max_ops:3 ())
+    (fun h ->
+      List.iter
+        (fun (m : Model.t) ->
+          let inc = Solve.Inc.create m in
+          let steps = ref 0 in
+          List.iter
+            (fun prefix ->
+              incr steps;
+              let inc_v = Solve.Inc.check inc prefix in
+              let scratch = Solve.check m prefix in
+              let enum = enum_allows m prefix in
+              if inc_v <> scratch || scratch <> enum then
+                Alcotest.failf
+                  "%s: step %d disagrees (inc %b, scratch %b, enum %b) on:\n%s"
+                  m.Model.key !steps inc_v scratch enum
+                  (Format.asprintf "%a" H.pp prefix))
+            (prefix_chain h);
+          (* Every step after the first extends its predecessor. *)
+          check Alcotest.int
+            (m.Model.key ^ " store reuses")
+            (!steps - 1) (Solve.Inc.reuses inc))
+        [ model "sc"; model "tso"; model "pc"; model "causal"; model "rc-sc" ];
+      true)
+
+let inc_restarts_on_unrelated_history () =
+  let inc = Solve.Inc.create (model "sc") in
+  let h1 = H.make [ [ H.write "x" 1 ]; [ H.read "x" 1 ] ] in
+  let h2 = H.make [ [ H.write "y" 2; H.write "y" 3 ]; [ H.read "y" 9 ] ] in
+  check Alcotest.bool "h1" true (Solve.Inc.check inc h1);
+  (* h2 does not extend h1 (op 0 differs), so the store must reset and
+     the verdict must still be the from-scratch one. *)
+  check Alcotest.bool "h2" (Solve.check (model "sc") h2)
+    (Solve.Inc.check inc h2);
+  check Alcotest.int "no reuse across unrelated histories" 0
+    (Solve.Inc.reuses inc)
+
+let () =
+  Alcotest.run "solve"
+    [
+      ("builtin corpus: solver = enumerator", builtin_corpus_cases);
+      ( "generated corpus",
+        [ tc "500-test smem-corpus/1 load" generated_corpus_differential ] );
+      ( "random histories",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_histories; prop_random_separated ] );
+      ( "co-pump",
+        [ tc "forbidden for k >= 2, allowed at k = 1" co_pump_family ] );
+      ( "certificates",
+        [ tc "solver-engine certificates verify" solver_certificates_verify ]
+      );
+      ( "incremental",
+        tc "unrelated history resets the store" inc_restarts_on_unrelated_history
+        :: List.map QCheck_alcotest.to_alcotest [ prop_incremental ] );
+    ]
