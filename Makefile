@@ -2,7 +2,7 @@
 
 EXAMPLES := quickstart bakery_demo lattice_explore litmus_tour compose_models
 
-.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke corpus solver fmt fmt-check ci clean
+.PHONY: all build test bench bench-figures examples fuzz-smoke certs serve-smoke serve-load sim-smoke corpus solver family-smoke fmt fmt-check ci clean
 
 all: build
 
@@ -79,6 +79,23 @@ solver: build
 	dune exec bin/smem.exe -- corpus --engine solve --stats
 	dune exec bench/main.exe -- --solver-only --out _build/BENCH_solver.json
 
+# The extended-family gates: the corpus (including the queue/counter
+# and partition/session tests) against the family models with
+# expectations enforced, kernel-verified certificates for on-demand
+# grammar instances, and the recomputed containment lattice exercised
+# through the fuzz oracle's metamorphic checks over every Figure-5
+# arrow (40 pairs; zero violations expected).
+family-smoke: build
+	dune exec bin/smem.exe -- corpus \
+	  -m pc-g -m 'pc-part(blocks=2)' -m 'pc-part(blocks=4)' -m coh \
+	  -m pram -m 'session(ryw,mr)' -m 'session(ryw,mr,mw,wfr)' \
+	  -m causal -m causal-obj
+	dune exec bin/smem.exe -- check mp \
+	  -m 'pc-part(blocks=2)' -m 'pc-part(blocks=3)' -m 'session(ryw,mr)' \
+	  --certify _build/family-certs
+	dune exec bin/smem.exe -- cert verify _build/family-certs/*.cert
+	dune exec bin/smem.exe -- fuzz --seed 42 --count 200 --no-machines --stats
+
 # Deterministic simulation of the serving stack: seeded schedules,
 # every benign fault enabled, zero invariant violations expected.
 # Failing schedules are shrunk and printed as replayable commands.
@@ -94,7 +111,7 @@ fmt-check:
 
 # What the CI workflow runs, minus the format job (ocamlformat may not
 # be installed locally).
-ci: build test examples fuzz-smoke certs serve-smoke serve-load corpus solver sim-smoke bench-figures
+ci: build test examples fuzz-smoke certs serve-smoke serve-load corpus solver family-smoke sim-smoke bench-figures
 
 clean:
 	dune clean

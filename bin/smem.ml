@@ -27,15 +27,15 @@ module Wire = Smem_api.Wire
 module Service = Smem_serve.Service
 open Cmdliner
 
+(* Model arguments go through {!Registry.resolve}: catalogue keys and
+   family references ([pc-part(blocks=3)], [session(ryw,mr)]) both
+   work, and the failure message carries the grammar or argument error
+   — with a did-you-mean suggestion for near-misses. *)
 let model_conv =
   let parse s =
-    match Registry.find s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown model %S (known: %s)" s
-               (String.concat ", " (Registry.keys ()))))
+    match Registry.resolve s with
+    | Ok m -> Ok m
+    | Error reason -> Error (`Msg reason)
   in
   Arg.conv (parse, fun ppf (m : Model.t) -> Format.pp_print_string ppf m.Model.key)
 
@@ -302,13 +302,58 @@ let load_program name ~labeled ~n =
 (* ------------------------------------------------------------------ *)
 
 let models_cmd =
-  let run () =
-    List.iter
-      (fun (m : Model.t) ->
-        Format.printf "%-12s %-34s %s@." m.Model.key m.Model.name m.Model.description)
-      Registry.all
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the catalogue as JSON — the payload of the smem-api/2 \
+             [models] response, the same bytes a daemon client gets.")
   in
-  Cmd.v (Cmd.info "models" ~doc:"List the memory models.") Term.(const run $ const ())
+  let run json =
+    let resp = die_on_error (Service.handle (Service.create ()) Request.Models) in
+    match resp.Response.payload with
+    | Response.Catalogue { models; families } ->
+        if json then
+          (match
+             Smem_obs.Json.member "payload"
+               (Wire.response_to_json ~proto:Wire.V2 resp)
+           with
+          | Some payload -> print_string (Smem_obs.Json.to_string payload)
+          | None -> ())
+        else begin
+          List.iter
+            (fun (m : Response.model_info) ->
+              Format.printf "%-24s %-34s %s@." m.Response.key m.Response.name
+                m.Response.description;
+              match m.Response.params with
+              | None -> ()
+              | Some rows ->
+                  Format.printf "%-24s   %s@." ""
+                    (String.concat "; "
+                       (List.map (fun (k, v) -> k ^ "=" ^ v) rows)))
+            models;
+          Format.printf "@.parameterized families (smem check -m \
+                         'family(arg=value,...)'):@.";
+          List.iter
+            (fun (f : Response.family_info) ->
+              Format.printf "  %-12s %s@." f.Response.family f.Response.doc;
+              List.iter
+                (fun (name, doc) -> Format.printf "    %-10s %s@." name doc)
+                f.Response.params)
+            families
+        end
+    | _ ->
+        Format.eprintf "error: unexpected %s payload@." resp.Response.kind;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:
+         "List the memory models: every catalogued model with its \
+          parameter quadruple, and the parameterized families with \
+          their argument domains.")
+    Term.(const run $ json_arg)
 
 let check_cmd =
   let source =
@@ -1363,7 +1408,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serving daemon: newline-delimited smem-api/1 JSON requests in, \
+         "Serving daemon: newline-delimited smem-api/2 JSON requests in \
+          (smem-api/1 still accepted, answered in kind), \
           structured verdicts, certificates, classifications and \
           distinctions out (see docs/API.md).  With $(b,--tcp) and/or \
           $(b,--socket) it accepts any number of concurrent clients, \
@@ -1628,12 +1674,12 @@ let api_cmd =
     Cmd.v
       (Cmd.info "corpus-requests"
          ~doc:
-           "Emit one smem-api/1 Check request per corpus test as \
+           "Emit one smem-api/2 Check request per corpus test as \
             newline-delimited JSON (pipe into $(b,smem serve)).")
       Term.(const run $ models_opt $ corpus_file)
   in
   Cmd.group
-    (Cmd.info "api" ~doc:"Produce and inspect smem-api/1 wire traffic.")
+    (Cmd.info "api" ~doc:"Produce and inspect smem-api/2 wire traffic.")
     [ corpus_requests ]
 
 let () =

@@ -17,6 +17,7 @@ type t =
       model : string;
       format : [ `Sexp | `Json ];
     }
+  | Models
 
 let kind = function
   | Check _ -> "check"
@@ -24,6 +25,7 @@ let kind = function
   | Classify _ -> "classify"
   | Distinguish _ -> "distinguish"
   | Certify _ -> "certify"
+  | Models -> "models"
 
 let pp_source ppf = function
   | Named n -> Format.fprintf ppf "%s" n
@@ -46,3 +48,4 @@ let pp ppf t =
   | Certify { test; model; format } ->
       Format.fprintf ppf "certify %a under %s as %s" pp_source test model
         (match format with `Sexp -> "sexp" | `Json -> "json")
+  | Models -> Format.pp_print_string ppf "models"

@@ -1,11 +1,13 @@
 (** Typed requests — everything a client can ask the toolkit to do.
 
-    These are the five checking workloads of the CLI and the serving
-    daemon, as pure data: no callbacks, no engine values, only names
-    and inline sources, so a request can cross a process boundary
-    intact ({!Wire}).  Model and machine references are registry keys;
-    an empty [models] list means "every registered model".
-    {!Smem_serve.Service} executes requests. *)
+    These are the checking workloads of the CLI and the serving
+    daemon, plus the catalogue introspection request, as pure data: no
+    callbacks, no engine values, only names and inline sources, so a
+    request can cross a process boundary intact ({!Wire}).  Model
+    references are registry keys or {!Smem_core.Model_ref} grammar
+    instances (e.g. [session(ryw,mr)]); an empty [models] list means
+    "every registered model".  {!Smem_serve.Service} executes
+    requests. *)
 
 type test_source =
   | Named of string  (** a built-in corpus test, by name *)
@@ -36,9 +38,13 @@ type t =
       model : string;
       format : [ `Sexp | `Json ];
     }  (** a kernel-checkable verdict certificate for one cell *)
+  | Models
+      (** the model catalogue: every registered model with its
+          parameter quadruple, and every parameterized family with its
+          argument domains *)
 
 val kind : t -> string
 (** Wire tag: [check], [corpus], [classify], [distinguish],
-    [certify]. *)
+    [certify], [models]. *)
 
 val pp : Format.formatter -> t -> unit

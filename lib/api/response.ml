@@ -7,6 +7,19 @@ type error_code =
   | Too_large
   | Internal
 
+type family_info = {
+  family : string;
+  doc : string;
+  params : (string * string) list;
+}
+
+type model_info = {
+  key : string;
+  name : string;
+  description : string;
+  params : (string * string) list option;
+}
+
 type payload =
   | Verdicts of Verdict.t list
   | Classification of {
@@ -20,6 +33,7 @@ type payload =
       witnesses : (string * string) list;
     }
   | Certificate of { format : string; body : string }
+  | Catalogue of { models : model_info list; families : family_info list }
   | Error of { code : error_code; message : string }
 
 type t = {
@@ -77,5 +91,8 @@ let pp ppf t =
   | Certificate { format; body } ->
       Format.fprintf ppf "certificate (%s, %d bytes)" format
         (String.length body)
+  | Catalogue { models; families } ->
+      Format.fprintf ppf "catalogue: %d model(s), %d family(ies)"
+        (List.length models) (List.length families)
   | Error { code; message } ->
       Format.fprintf ppf "error %s: %s" (error_code_to_string code) message

@@ -24,6 +24,27 @@ type error_code =
           a checker hit a bug.  The serving loop answers the affected
           requests with this code, in position, and keeps running. *)
 
+type family_info = {
+  family : string;  (** grammar name, e.g. ["pc-part"] *)
+  doc : string;
+  params : (string * string) list;
+      (** parameter name → human-readable domain *)
+}
+(** One parameterized family of the catalogue — mirrors
+    {!Smem_core.Registry.family_info} without the instantiation
+    closure, so it can cross the wire. *)
+
+type model_info = {
+  key : string;
+  name : string;
+  description : string;
+  params : (string * string) list option;
+      (** the parameter quadruple as [(dimension, value)] rows
+          ({!Smem_core.Model.params_strings}); [None] for operational
+          or ad-hoc models, which cannot be certified *)
+}
+(** One catalogued model. *)
+
 type payload =
   | Verdicts of Verdict.t list  (** [Check] / [Corpus] *)
   | Classification of {
@@ -42,6 +63,9 @@ type payload =
           (** (role, replayable litmus text) *)
     }  (** [Distinguish] *)
   | Certificate of { format : string; body : string }  (** [Certify] *)
+  | Catalogue of { models : model_info list; families : family_info list }
+      (** [Models] — the source of truth for what the server can
+          check; docs/API.md's model table is generated from it *)
   | Error of { code : error_code; message : string }
 
 type t = {

@@ -1,7 +1,21 @@
 module Json = Smem_obs.Json
+module Model_ref = Smem_core.Model_ref
 
-let version = 1
-let schema = "smem-api/1"
+type proto = V1 | V2
+
+let version = 2
+let schema = "smem-api/2"
+let schema_v1 = "smem-api/1"
+let schema_of = function V1 -> schema_v1 | V2 -> schema
+let version_of = function V1 -> 1 | V2 -> 2
+
+let proto_of_schema = function
+  | "smem-api/1" -> Ok V1
+  | "smem-api/2" -> Ok V2
+  | other ->
+      Error
+        (Printf.sprintf "unsupported schema %S (this server speaks %s and %s)"
+           other schema_v1 schema)
 
 let ( let* ) = Result.bind
 
@@ -54,15 +68,85 @@ let scope_of_json j =
       labeled;
     }
 
-let str_list_of_json what = function
+(* ------------------------------------------------------------------ *)
+(* Model references
+
+   smem-api/1 carries model references as plain strings in the
+   [Model_ref] grammar; smem-api/2 carries them structurally, one
+   object per reference:
+
+     {"family": "session", "args": [{"name": "ryw"},
+                                    {"name": "mr", "value": "true"}]}
+
+   with [args] omitted for nullary references.  Both parsers accept
+   both spellings (the structured form is just the v2 spelling; a
+   liberal reader costs nothing), and a structured reference is
+   normalized through {!Model_ref.to_string} — the one place the
+   grammar lives — so the rest of the stack only ever sees canonical
+   strings. *)
+
+let ref_to_json ~proto s =
+  match proto with
+  | V1 -> Json.Str s
+  | V2 -> (
+      match Model_ref.parse s with
+      | Error _ -> Json.Str s
+      | Ok r ->
+          Json.Obj
+            (("family", Json.Str r.Model_ref.family)
+            ::
+            (match r.Model_ref.args with
+            | [] -> []
+            | args ->
+                [
+                  ( "args",
+                    Json.Arr
+                      (List.map
+                         (fun (name, value) ->
+                           Json.Obj
+                             (("name", Json.Str name)
+                             ::
+                             (if value = "" then []
+                              else [ ("value", Json.Str value) ])))
+                         args) );
+                ])))
+
+let ref_of_json = function
+  | Json.Str s -> Ok s
+  | Json.Obj _ as j -> (
+      match Json.member "family" j with
+      | Some (Json.Str family) ->
+          let* args =
+            match Json.member "args" j with
+            | None -> Ok []
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match Json.member "name" item with
+                    | Some (Json.Str name) ->
+                        let value =
+                          match Json.member "value" item with
+                          | Some (Json.Str v) -> v
+                          | _ -> ""
+                        in
+                        Ok ((name, value) :: acc)
+                    | _ -> Error "model ref: argument without a name")
+                  items (Ok [])
+            | Some _ -> Error "model ref: args must be an array"
+          in
+          Ok (Model_ref.to_string { Model_ref.family; args })
+      | _ -> Error "model ref: expected a string or {family, args}")
+  | _ -> Error "model ref: expected a string or {family, args}"
+
+let refs_of_json what = function
   | None -> Ok []
   | Some (Json.Arr items) ->
       List.fold_right
         (fun item acc ->
           let* acc = acc in
-          match item with
-          | Json.Str s -> Ok (s :: acc)
-          | _ -> Error (what ^ ": expected strings"))
+          let* s = ref_of_json item in
+          Ok (s :: acc))
         items (Ok [])
   | Some _ -> Error (what ^ ": expected an array")
 
@@ -77,16 +161,19 @@ let scopes_of_json = function
         items (Ok [])
   | Some _ -> Error "scopes: expected an array"
 
-let models_field models =
-  ("models", Json.Arr (List.map (fun m -> Json.Str m) models))
+let models_field ~proto models =
+  ("models", Json.Arr (List.map (ref_to_json ~proto) models))
 let scopes_field scopes = ("scopes", Json.Arr (List.map scope_to_json scopes))
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
-let request_to_json ?id r =
+let request_to_json ?(proto = V2) ?id r =
   let header =
-    [ ("schema", Json.Str schema) ]
+    [ ("schema", Json.Str (schema_of proto)) ]
+    @ (match proto with
+      | V1 -> []
+      | V2 -> [ ("version", Json.Int (version_of proto)) ])
     @ (match id with None -> [] | Some id -> [ ("id", Json.Int id) ])
     @ [ ("kind", Json.Str (Request.kind r)) ]
   in
@@ -95,30 +182,45 @@ let request_to_json ?id r =
     @
     match r with
     | Request.Check { test; models } ->
-        [ ("test", source_to_json test); models_field models ]
-    | Request.Corpus { models } -> [ models_field models ]
+        [ ("test", source_to_json test); models_field ~proto models ]
+    | Request.Corpus { models } -> [ models_field ~proto models ]
     | Request.Classify { models; scopes } ->
-        [ models_field models; scopes_field scopes ]
+        [ models_field ~proto models; scopes_field scopes ]
     | Request.Distinguish { a; b; scopes } ->
-        [ ("a", Json.Str a); ("b", Json.Str b); scopes_field scopes ]
+        [
+          ("a", ref_to_json ~proto a);
+          ("b", ref_to_json ~proto b);
+          scopes_field scopes;
+        ]
     | Request.Certify { test; model; format } ->
         [
           ("test", source_to_json test);
-          ("model", Json.Str model);
+          ("model", ref_to_json ~proto model);
           ( "format",
             Json.Str (match format with `Sexp -> "sexp" | `Json -> "json") );
-        ])
+        ]
+    | Request.Models -> [])
 
-let request_of_json j =
-  let* () =
+(* A missing [schema] means a v1 client from before the field was
+   mandatory; an explicit [version] must agree with the schema. *)
+let proto_of_json j =
+  let* proto =
     match Json.member "schema" j with
-    | None | Some (Json.Str "smem-api/1") -> Ok ()
-    | Some (Json.Str other) ->
-        Error
-          (Printf.sprintf "unsupported schema %S (this server speaks %s)"
-             other schema)
+    | None -> Ok V1
+    | Some (Json.Str s) -> proto_of_schema s
     | Some _ -> Error "schema: expected a string"
   in
+  match Json.member "version" j with
+  | None -> Ok proto
+  | Some (Json.Int n) when n = version_of proto -> Ok proto
+  | Some (Json.Int n) ->
+      Error
+        (Printf.sprintf "version %d does not match schema %s" n
+           (schema_of proto))
+  | Some _ -> Error "version: expected an integer"
+
+let request_of_json j =
+  let* proto = proto_of_json j in
   let id =
     match Json.member "id" j with Some (Json.Int n) -> Some n | _ -> None
   in
@@ -126,6 +228,11 @@ let request_of_json j =
     match Json.member name j with
     | Some (Json.Str s) -> Ok s
     | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let ref_field name =
+    match Json.member name j with
+    | Some r -> ref_of_json r
+    | None -> Error (Printf.sprintf "missing model reference %S" name)
   in
   let source () =
     match Json.member "test" j with
@@ -137,23 +244,23 @@ let request_of_json j =
     match kind with
     | "check" ->
         let* test = source () in
-        let* models = str_list_of_json "models" (Json.member "models" j) in
+        let* models = refs_of_json "models" (Json.member "models" j) in
         Ok (Request.Check { test; models })
     | "corpus" ->
-        let* models = str_list_of_json "models" (Json.member "models" j) in
+        let* models = refs_of_json "models" (Json.member "models" j) in
         Ok (Request.Corpus { models })
     | "classify" ->
-        let* models = str_list_of_json "models" (Json.member "models" j) in
+        let* models = refs_of_json "models" (Json.member "models" j) in
         let* scopes = scopes_of_json (Json.member "scopes" j) in
         Ok (Request.Classify { models; scopes })
     | "distinguish" ->
-        let* a = str "a" in
-        let* b = str "b" in
+        let* a = ref_field "a" in
+        let* b = ref_field "b" in
         let* scopes = scopes_of_json (Json.member "scopes" j) in
         Ok (Request.Distinguish { a; b; scopes })
     | "certify" ->
         let* test = source () in
-        let* model = str "model" in
+        let* model = ref_field "model" in
         let* format =
           match Json.member "format" j with
           | None | Some (Json.Str "sexp") -> Ok `Sexp
@@ -161,9 +268,10 @@ let request_of_json j =
           | Some _ -> Error "format: expected \"sexp\" or \"json\""
         in
         Ok (Request.Certify { test; model; format })
+    | "models" -> Ok Request.Models
     | other -> Error (Printf.sprintf "unknown request kind %S" other)
   in
-  Ok (id, req)
+  Ok (id, proto, req)
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -214,6 +322,52 @@ let payload_to_json = function
         ]
   | Response.Certificate { format; body } ->
       Json.Obj [ ("format", Json.Str format); ("body", Json.Str body) ]
+  | Response.Catalogue { models; families } ->
+      let rows kvs =
+        Json.Arr
+          (List.map
+             (fun (name, value) ->
+               Json.Obj [ ("name", Json.Str name); ("value", Json.Str value) ])
+             kvs)
+      in
+      Json.Obj
+        [
+          ( "models",
+            Json.Arr
+              (List.map
+                 (fun (m : Response.model_info) ->
+                   Json.Obj
+                     [
+                       ("key", Json.Str m.Response.key);
+                       ("name", Json.Str m.Response.name);
+                       ("description", Json.Str m.Response.description);
+                       ( "params",
+                         match m.Response.params with
+                         | None -> Json.Null
+                         | Some kvs -> rows kvs );
+                     ])
+                 models) );
+          ( "families",
+            Json.Arr
+              (List.map
+                 (fun (f : Response.family_info) ->
+                   Json.Obj
+                     [
+                       ("family", Json.Str f.Response.family);
+                       ("doc", Json.Str f.Response.doc);
+                       ( "params",
+                         Json.Arr
+                           (List.map
+                              (fun (name, doc) ->
+                                Json.Obj
+                                  [
+                                    ("name", Json.Str name);
+                                    ("doc", Json.Str doc);
+                                  ])
+                              f.Response.params) );
+                     ])
+                 families) );
+        ]
   | Response.Error { code; message } ->
       Json.Obj
         [
@@ -221,18 +375,33 @@ let payload_to_json = function
           ("message", Json.Str message);
         ]
 
-let response_to_json (t : Response.t) =
+let response_to_json ?(proto = V2) (t : Response.t) =
   Json.Obj
-    [
-      ("schema", Json.Str schema);
-      ("id", match t.Response.id with Some n -> Json.Int n | None -> Json.Null);
-      ("kind", Json.Str t.Response.kind);
-      ("ok", Json.Bool (Response.ok t));
-      ("cached", Json.Int t.Response.cached);
-      ("computed", Json.Int t.Response.computed);
-      ("elapsed_ns", Json.Int t.Response.elapsed_ns);
-      ("payload", payload_to_json t.Response.payload);
-    ]
+    (("schema", Json.Str (schema_of proto))
+    :: (match proto with
+       | V1 -> []
+       | V2 -> [ ("version", Json.Int (version_of proto)) ])
+    @ [
+        ( "id",
+          match t.Response.id with Some n -> Json.Int n | None -> Json.Null );
+        ("kind", Json.Str t.Response.kind);
+        ("ok", Json.Bool (Response.ok t));
+        ("cached", Json.Int t.Response.cached);
+        ("computed", Json.Int t.Response.computed);
+        ("elapsed_ns", Json.Int t.Response.elapsed_ns);
+        ("payload", payload_to_json t.Response.payload);
+      ])
+
+let kv_rows what = function
+  | Some (Json.Arr items) ->
+      List.fold_right
+        (fun item acc ->
+          let* acc = acc in
+          match (Json.member "name" item, Json.member "value" item) with
+          | Some (Json.Str n), Some (Json.Str v) -> Ok ((n, v) :: acc)
+          | _ -> Error (what ^ ": expected {name, value}"))
+        items (Ok [])
+  | _ -> Error ("payload: missing " ^ what ^ " array")
 
 let payload_of_json ~kind j =
   match Json.member "error" j with
@@ -341,14 +510,73 @@ let payload_of_json ~kind j =
           | Some (Json.Str format), Some (Json.Str body) ->
               Ok (Response.Certificate { format; body })
           | _ -> Error "payload: expected {format, body}")
+      | "models" ->
+          let* models =
+            match Json.member "models" j with
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match
+                      ( Json.member "key" item,
+                        Json.member "name" item,
+                        Json.member "description" item )
+                    with
+                    | Some (Json.Str key), Some (Json.Str name),
+                      Some (Json.Str description) ->
+                        let* params =
+                          match Json.member "params" item with
+                          | None | Some Json.Null -> Ok None
+                          | Some _ ->
+                              let* kvs =
+                                kv_rows "params" (Json.member "params" item)
+                              in
+                              Ok (Some kvs)
+                        in
+                        Ok
+                          ({ Response.key; name; description; params } :: acc)
+                    | _ -> Error "models: expected {key, name, description}")
+                  items (Ok [])
+            | _ -> Error "payload: missing models array"
+          in
+          let* families =
+            match Json.member "families" j with
+            | Some (Json.Arr items) ->
+                List.fold_right
+                  (fun item acc ->
+                    let* acc = acc in
+                    match
+                      (Json.member "family" item, Json.member "doc" item)
+                    with
+                    | Some (Json.Str family), Some (Json.Str doc) ->
+                        let* params =
+                          match Json.member "params" item with
+                          | Some (Json.Arr ps) ->
+                              List.fold_right
+                                (fun p acc ->
+                                  let* acc = acc in
+                                  match
+                                    ( Json.member "name" p,
+                                      Json.member "doc" p )
+                                  with
+                                  | Some (Json.Str n), Some (Json.Str d) ->
+                                      Ok ((n, d) :: acc)
+                                  | _ ->
+                                      Error
+                                        "family params: expected {name, doc}")
+                                ps (Ok [])
+                          | _ -> Ok []
+                        in
+                        Ok ({ Response.family; doc; params } :: acc)
+                    | _ -> Error "families: expected {family, doc}")
+                  items (Ok [])
+            | _ -> Error "payload: missing families array"
+          in
+          Ok (Response.Catalogue { models; families })
       | other -> Error (Printf.sprintf "unknown response kind %S" other))
 
 let response_of_json j =
-  let* () =
-    match Json.member "schema" j with
-    | None | Some (Json.Str "smem-api/1") -> Ok ()
-    | Some _ -> Error "unsupported schema"
-  in
+  let* _proto = proto_of_json j in
   let id =
     match Json.member "id" j with Some (Json.Int n) -> Some n | _ -> None
   in
@@ -378,8 +606,8 @@ let response_of_json j =
 (* ------------------------------------------------------------------ *)
 (* Line framing ({!Smem_obs.Json.to_string} is newline-terminated)     *)
 
-let request_line ?id r = Json.to_string (request_to_json ?id r)
-let response_line t = Json.to_string (response_to_json t)
+let request_line ?proto ?id r = Json.to_string (request_to_json ?proto ?id r)
+let response_line ?proto t = Json.to_string (response_to_json ?proto t)
 
 let parse_line of_json line =
   match Json.of_string line with

@@ -364,34 +364,108 @@ let view_orders h (params : Model.params) ~writer ~sync ~co =
       add_po_loc h m;
       add_total m (sync_exn ());
       shared m
+  | Model.Session { ryw; mr; mw; wfr } ->
+      (* Pairwise projections of (transitive) program order, restated
+         from the guarantee definitions; wfr additionally orders each
+         read's writer before the reader's later writes.  The relation
+         is shared — restriction to each view happens in the ordering
+         check, exactly like the causal orders. *)
+      let m = fresh_rel n in
+      for p = 0 to History.nprocs h - 1 do
+        let row = History.proc_ops h p in
+        let k = Array.length row in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            let a = History.op h row.(i) and b = History.op h row.(j) in
+            if
+              (ryw && Op.is_write a && Op.is_read b)
+              || (mr && Op.is_read a && Op.is_read b)
+              || (mw && Op.is_write a && Op.is_write b)
+            then m.(row.(i)).(row.(j)) <- true
+          done
+        done
+      done;
+      if wfr then
+        List.iter
+          (fun r ->
+            let w = writer.(r) in
+            if w <> History.init then begin
+              let ro = History.op h r in
+              Array.iter
+                (fun id ->
+                  let o' = History.op h id in
+                  if o'.Op.index > ro.Op.index && Op.is_write o' then
+                    m.(w).(id) <- true)
+                (History.proc_ops h ro.Op.proc)
+            end)
+          (History.reads h);
+      shared m
 
 (* ------------------------------------------------------------------ *)
 (* Legality: replaying a view sequence against a location store        *)
 
-let initial_cell = function
-  | Model.Value_legal -> 0
-  | Model.Writer_legal -> History.init
+(* Location sorts are re-derived from the name prefix (the convention
+   {!Smem_core.Sort} documents) rather than through that module: the
+   kernel restates even this classification so the search engine's
+   code is nowhere on its trust path. *)
+type sort = Reg | Que | Cnt
 
-let cell_after legality (op : Op.t) =
-  match legality with
-  | Model.Value_legal -> op.Op.value
-  | Model.Writer_legal -> op.Op.id
+let sort_of h l =
+  let name = History.loc_name h l in
+  if String.length name >= 2 && name.[1] = ':' then
+    match name.[0] with 'q' -> Que | 'c' -> Cnt | _ -> Reg
+  else Reg
 
-let read_wanted legality ~writer (op : Op.t) =
-  match legality with
-  | Model.Value_legal -> op.Op.value
-  | Model.Writer_legal -> writer.(op.Op.id)
+(* A location's replay state.  Value- and writer-legality use one int
+   cell per location regardless of sort (every pre-existing model reads
+   object locations as plain registers); object legality replays each
+   sort's sequential specification. *)
+type cell = Val of int | Wtr of int | Fifo of int list | Count of int
+
+let initial_cell legality sort =
+  match (legality, sort) with
+  | Model.Value_legal, _ -> Val 0
+  | Model.Writer_legal, _ -> Wtr History.init
+  | Model.Object_legal, Reg -> Val 0
+  | Model.Object_legal, Que -> Fifo []
+  | Model.Object_legal, Cnt -> Count 0
+
+let initial_cells h legality =
+  Array.init
+    (max 1 (History.nlocs h))
+    (fun l -> initial_cell legality (sort_of h l))
+
+(* [None] when the operation is not a legal transition. *)
+let cell_step ~writer cell (op : Op.t) =
+  if Op.is_write op then
+    Some
+      (match cell with
+      | Val _ -> Val op.Op.value
+      | Wtr _ -> Wtr op.Op.id
+      | Fifo q -> Fifo (q @ [ op.Op.value ])
+      | Count n -> Count (n + 1))
+  else
+    match cell with
+    | Val v -> if v = op.Op.value then Some cell else None
+    | Wtr w -> if w = writer.(op.Op.id) then Some cell else None
+    | Fifo q -> (
+        if op.Op.value = 0 then if q = [] then Some cell else None
+        else
+          match q with
+          | head :: rest when head = op.Op.value -> Some (Fifo rest)
+          | _ -> None)
+    | Count n -> if op.Op.value = n then Some cell else None
 
 let walk_legal h ~legality ~writer seq =
-  let mem = Array.make (max 1 (History.nlocs h)) (initial_cell legality) in
+  let mem = initial_cells h legality in
   List.for_all
     (fun id ->
       let op = History.op h id in
-      if Op.is_write op then begin
-        mem.(op.Op.loc) <- cell_after legality op;
-        true
-      end
-      else mem.(op.Op.loc) = read_wanted legality ~writer op)
+      match cell_step ~writer mem.(op.Op.loc) op with
+      | Some c ->
+          mem.(op.Op.loc) <- c;
+          true
+      | None -> false)
     seq
 
 (* ------------------------------------------------------------------ *)
@@ -459,6 +533,74 @@ let check_views h (params : Model.params) views =
                 (Printf.sprintf "the view of location %s" (History.loc_name h l))
                 seq expect)
         views
+  | Model.Per_proc_block { blocks } ->
+      (* One view per (processor, block) pair whose population — the
+         owner's operations on the block's locations plus every write
+         to them — is nonempty; empty pairs are omitted.  A view's
+         block is recovered from its operations' locations (blocks
+         partition the locations, so a nonempty view determines it). *)
+      let expect_of p b =
+        let expect = Array.make (max 1 n) false in
+        let any = ref false in
+        Array.iter
+          (fun (o : Op.t) ->
+            if o.Op.loc mod blocks = b && (o.Op.proc = p || Op.is_write o)
+            then begin
+              expect.(o.Op.id) <- true;
+              any := true
+            end)
+          (History.ops h);
+        if !any then Some expect else None
+      in
+      let nonempty = ref 0 in
+      for p = 0 to History.nprocs h - 1 do
+        for b = 0 to blocks - 1 do
+          if Option.is_some (expect_of p b) then incr nonempty
+        done
+      done;
+      if List.length views <> !nonempty then
+        reject "expected %d (processor, block) views" !nonempty;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (p, seq) ->
+          if p < 0 || p >= History.nprocs h then
+            reject "view processor %d out of range" p;
+          match seq with
+          | [] -> reject "empty (processor, block) view"
+          | a :: _ -> (
+              let b = (History.op h a).Op.loc mod blocks in
+              if Hashtbl.mem seen (p, b) then
+                reject "duplicate view for processor %d block %d" p b;
+              Hashtbl.replace seen (p, b) ();
+              match expect_of p b with
+              | None -> reject "unexpected view for processor %d block %d" p b
+              | Some expect ->
+                  check_exact
+                    (Printf.sprintf "the view of processor %d block %d" p b)
+                    seq expect))
+        views
+  | Model.Own_plus_updates ->
+      if List.length views <> History.nprocs h then
+        reject "expected one view per processor";
+      let seen = Array.make (History.nprocs h) false in
+      (* Updates: every write, plus queue dequeues by any processor
+         (a dequeue mutates the queue, so it appears in every view). *)
+      let updates =
+        List.filter
+          (fun (o : Op.t) -> Op.is_write o || sort_of h o.Op.loc = Que)
+          (Array.to_list (History.ops h))
+      in
+      List.iter
+        (fun (p, seq) ->
+          if p < 0 || p >= History.nprocs h then
+            reject "view processor %d out of range" p;
+          if seen.(p) then reject "duplicate view for processor %d" p;
+          seen.(p) <- true;
+          let expect = Array.make (max 1 n) false in
+          Array.iter (fun a -> expect.(a) <- true) (History.proc_ops h p);
+          List.iter (fun (o : Op.t) -> expect.(o.Op.id) <- true) updates;
+          check_exact (Printf.sprintf "the view of processor %d" p) seq expect)
+        views
 
 (* ------------------------------------------------------------------ *)
 (* Mutual consistency: derive the coherence order from the views       *)
@@ -486,19 +628,36 @@ let derive_co h (params : Model.params) views =
             Op.is_write o && o.Op.loc = l)
           seq)
   in
+  (* Agreement among the views that see a location's writes at all: a
+     partition-consistency view holds no writes outside its block, so
+     its (empty) projection constrains nothing there.  Populations
+     whose views all contain every write (checked structurally before
+     this point) degenerate to the old all-views-equal rule, since a
+     nonempty write set projects nonempty into each of them. *)
   match views with
   | [] -> reject "no views"
-  | (_, first) :: _ ->
-      let co_loc = per_loc_of first in
+  | _ ->
+      let nlocs = max 1 (History.nlocs h) in
+      let co_loc = Array.make nlocs [] in
+      let seen = Array.make nlocs false in
       List.iter
         (fun (_, seq) ->
           Array.iteri
             (fun l ws ->
-              if ws <> co_loc.(l) then
-                reject "views disagree on the write order for %s"
-                  (History.loc_name h l))
+              match ws with
+              | [] -> ()
+              | ws when not seen.(l) ->
+                  seen.(l) <- true;
+                  co_loc.(l) <- ws
+              | ws ->
+                  if ws <> co_loc.(l) then
+                    reject "views disagree on the write order for %s"
+                      (History.loc_name h l))
             (per_loc_of seq))
         views;
+      (* A location every view misses has either no writes at all, or
+         writes no view was required to contain — the derived order is
+         then empty and the ordering check simply has nothing to add. *)
       build_co h (Array.map Array.of_list co_loc)
 
 (* ------------------------------------------------------------------ *)
@@ -533,7 +692,15 @@ let check_rf h params rf =
         if not (Op.is_read op) then reject "rf: operation %d is not a read" r;
         if seen.(r) then reject "rf: duplicate entry for read %d" r;
         seen.(r) <- true;
-        if w = History.init then begin
+        if params.Model.legality = Model.Object_legal && sort_of h op.Op.loc = Cnt
+        then begin
+          (* A counter read returns a count, not a written value: it
+             has no writer and must be pinned to the initial
+             pseudo-write (contributing no writes-before edge). *)
+          if w <> History.init then
+            reject "rf: counter read %d cannot have a writer" r
+        end
+        else if w = History.init then begin
           if op.Op.value <> 0 then
             reject "rf: read %d returns %d but is mapped to the initial write"
               r op.Op.value
@@ -675,19 +842,23 @@ let candidate_space h =
 (* ------------------------------------------------------------------ *)
 (* Independent witness search (for refuting forbidden certificates)    *)
 
-let exists_rf h ~f =
+let exists_rf h ~legality ~f =
   let reads = Array.of_list (History.reads h) in
   let nreads = Array.length reads in
   let cands =
     Array.map
       (fun r ->
         let op = History.op h r in
-        let ws =
-          List.filter
-            (fun w -> (History.op h w).Op.value = op.Op.value)
-            (History.writes_to h op.Op.loc)
-        in
-        Array.of_list (if op.Op.value = 0 then History.init :: ws else ws))
+        if legality = Model.Object_legal && sort_of h op.Op.loc = Cnt then
+          (* counter reads have no writer: the assignment is forced *)
+          [| History.init |]
+        else
+          let ws =
+            List.filter
+              (fun w -> (History.op h w).Op.value = op.Op.value)
+              (History.writes_to h op.Op.loc)
+          in
+          Array.of_list (if op.Op.value = 0 then History.init :: ws else ws))
       reads
   in
   if Array.exists (fun c -> Array.length c = 0) cands then false
@@ -769,9 +940,36 @@ let view_specs h (params : Model.params) =
   | Model.Per_location ->
       List.init (History.nlocs h) (fun l ->
           (-1, List.filter (fun a -> (History.op h a).Op.loc = l) (List.init n Fun.id)))
+  | Model.Per_proc_block { blocks } ->
+      List.concat
+        (List.init (History.nprocs h) (fun p ->
+             List.filter_map
+               (fun b ->
+                 let ops =
+                   List.filter
+                     (fun a ->
+                       let o = History.op h a in
+                       o.Op.loc mod blocks = b
+                       && (o.Op.proc = p || Op.is_write o))
+                     (List.init n Fun.id)
+                 in
+                 if ops = [] then None else Some (p, ops))
+               (List.init blocks Fun.id)))
+  | Model.Own_plus_updates ->
+      List.init (History.nprocs h) (fun p ->
+          let keep = Array.make (max 1 n) false in
+          Array.iter (fun a -> keep.(a) <- true) (History.proc_ops h p);
+          Array.iter
+            (fun (o : Op.t) ->
+              if Op.is_write o || sort_of h o.Op.loc = Que then
+                keep.(o.Op.id) <- true)
+            (History.ops h);
+          (p, List.filter (fun a -> keep.(a)) (List.init n Fun.id)))
 
 (* backtracking placement of one view: order-predecessor readiness plus
-   the legality walk (View.exists restated, without memoization) *)
+   the legality walk (View.exists restated, without memoization).  The
+   save/restore pair covers reads too: a queue dequeue consumes the
+   head, so a backtracked read must put the cell back. *)
 let place_view h ~ops ~order ~legality ~writer =
   let n = History.nops h in
   let ids = Array.of_list ops in
@@ -779,7 +977,7 @@ let place_view h ~ops ~order ~legality ~writer =
   let placed = Array.make (max 1 n) false in
   let in_view = Array.make (max 1 n) false in
   Array.iter (fun a -> in_view.(a) <- true) ids;
-  let mem = Array.make (max 1 (History.nlocs h)) (initial_cell legality) in
+  let mem = initial_cells h legality in
   let ready a =
     let ok = ref true in
     for b = 0 to n - 1 do
@@ -796,20 +994,17 @@ let place_view h ~ops ~order ~legality ~writer =
       let a = ids.(!i) in
       if (not placed.(a)) && ready a then begin
         let op = History.op h a in
-        if Op.is_write op then begin
-          let saved = mem.(op.Op.loc) in
-          mem.(op.Op.loc) <- cell_after legality op;
-          placed.(a) <- true;
-          if go (depth + 1) then found := true
-          else begin
-            placed.(a) <- false;
-            mem.(op.Op.loc) <- saved
-          end
-        end
-        else if mem.(op.Op.loc) = read_wanted legality ~writer op then begin
-          placed.(a) <- true;
-          if go (depth + 1) then found := true else placed.(a) <- false
-        end
+        match cell_step ~writer mem.(op.Op.loc) op with
+        | Some c ->
+            let saved = mem.(op.Op.loc) in
+            mem.(op.Op.loc) <- c;
+            placed.(a) <- true;
+            if go (depth + 1) then found := true
+            else begin
+              placed.(a) <- false;
+              mem.(op.Op.loc) <- saved
+            end
+        | None -> ()
       end;
       incr i
     done;
@@ -870,7 +1065,7 @@ let search_exn (params : Model.params) h =
   in
   let with_rf f =
     if rf_required params then
-      exists_rf h ~f:(fun writer ->
+      exists_rf h ~legality:params.Model.legality ~f:(fun writer ->
           (match params.Model.ordering with
           | Model.Own_ppo_bracketed -> acquire_rf_ok h writer
           | _ -> true)

@@ -7,7 +7,15 @@ let is_exact h = History.nprocs h <= exact_limit
    indices (0 is the implicit initial value of every location and must
    stay fixed).  The encoding is injective on renamed histories: it
    spells out kind, attribute, location, value and interval of every
-   operation, with unambiguous separators. *)
+   operation, with unambiguous separators.
+
+   Object locations ({!Sort}) additionally carry their sort character
+   before the location index — a queue history must never collide with
+   the register history spelled the same way — and counter locations
+   skip value renaming entirely: a counter read's value is an absolute
+   count, not an opaque token, so renaming it would conflate
+   histories with different counts.  Register encodings are unchanged,
+   keeping existing digests (and persistent verdict stores) valid. *)
 let encode_order h order =
   let buf = Buffer.create 256 in
   let loc_map = Hashtbl.create 8 in
@@ -38,11 +46,20 @@ let encode_order h order =
       Array.iter
         (fun id ->
           let op = History.op h id in
+          let sort = Sort.of_loc h op.Op.loc in
           let l' = rename_loc op.Op.loc in
-          let v' = rename_value l' op.Op.value in
+          let v' =
+            match sort with
+            | Sort.Counter -> op.Op.value
+            | Sort.Register | Sort.Queue -> rename_value l' op.Op.value
+          in
           Buffer.add_char buf
             (match op.Op.kind with Op.Read -> 'r' | Op.Write -> 'w');
           if Op.is_labeled op then Buffer.add_char buf '*';
+          (match sort with
+          | Sort.Register -> ()
+          | Sort.Queue -> Buffer.add_char buf 'q'
+          | Sort.Counter -> Buffer.add_char buf 'c');
           Buffer.add_string buf (string_of_int l');
           Buffer.add_char buf '=';
           Buffer.add_string buf (string_of_int v');
@@ -137,9 +154,17 @@ let canonicalize h =
            History.proc_ops h p |> Array.to_list
            |> List.map (fun id ->
                   let op = History.op h id in
+                  let sort = Sort.of_loc h op.Op.loc in
                   let l' = rename_loc op.Op.loc in
-                  let v' = rename_value l' op.Op.value in
-                  let loc = "l" ^ string_of_int l' in
+                  let v' =
+                    match sort with
+                    | Sort.Counter -> op.Op.value
+                    | Sort.Register | Sort.Queue ->
+                        rename_value l' op.Op.value
+                  in
+                  (* The sort prefix survives renaming, so the
+                     canonical history classifies identically. *)
+                  let loc = Sort.prefix sort ^ "l" ^ string_of_int l' in
                   let labeled = Op.is_labeled op in
                   let at = History.interval h id in
                   match op.Op.kind with

@@ -20,6 +20,19 @@ type population =
   | Per_location
       (** one shared view per location containing exactly the accesses
           to it (the coherence model) *)
+  | Per_proc_block of { blocks : int }
+      (** the partition-consistency family (Cheng–Higham–Kawash): one
+          view per processor {e per partition block}, holding the
+          owner's operations on the block's locations plus every write
+          to them.  Locations are partitioned by interned identifier
+          modulo [blocks]; one block recovers a PC-G-like model,
+          singleton blocks recover coherence. *)
+  | Own_plus_updates
+      (** per-processor views of own operations plus every {e update} —
+          all writes, and the reads that mutate object state (queue
+          dequeues).  On register-only histories this coincides with
+          {!Own_plus_writes}; it is the population of the
+          object-causal family. *)
 
 type ordering =
   | Program_order  (** po (SC, PRAM, PC-G, coherence) *)
@@ -34,6 +47,17 @@ type ordering =
       (** owner's ppo plus the §3.4 bracketing edges (RC) *)
   | Sync_fences
       (** two-way fences around labeled accesses plus po_loc (WO) *)
+  | Session of { ryw : bool; mr : bool; mw : bool; wfr : bool }
+      (** the session-guarantee family (Terry et al., via Almeida's
+          consistency framework): the selected program-order /
+          writes-before projections, transitively closed.  [ryw]
+          read-your-writes keeps each processor's own write→read
+          program order; [mr] monotonic reads its own read→read order;
+          [mw] monotonic writes every processor's write→write order in
+          every view; [wfr] writes-follow-reads orders each read's
+          writer before the reader's subsequent writes in every view
+          (this one commits to a reads-from map, so it forces
+          {!Writer_legal}). *)
 
 type mutual =
   | No_mutual
@@ -57,6 +81,13 @@ type legality =
   | Writer_legal
       (** each read returns exactly its assigned writer: the witness
           commits to a reads-from map *)
+  | Object_legal
+      (** each view is a legal sequential history of every object per
+          its {!Sort}: registers return the most recent write, queues
+          are FIFO, counters return the number of prior increments.
+          Reads of rf-able sorts (registers, queues) still commit to a
+          reads-from map — it seeds the causal order — while counter
+          reads carry no reads-from edge. *)
 
 type params = {
   population : population;
@@ -83,6 +114,21 @@ val make :
   ?params:params ->
   (History.t -> Witness.t option) ->
   t
+
+(** {1 Parameter rendering}
+
+    Stable human-and-machine-readable names for the parameter
+    dimensions, used by the model catalogue ([smem models], the
+    [models] API request) and the documentation. *)
+
+val population_to_string : population -> string
+val ordering_to_string : ordering -> string
+val mutual_to_string : mutual -> string
+val legality_to_string : legality -> string
+
+val params_strings : params -> (string * string) list
+(** The quadruple as [(dimension, value)] rows, in the fixed order
+    population, ordering, mutual, legality. *)
 
 val check : t -> History.t -> bool
 (** [check m h] — is [h] in the set of histories allowed by [m]?

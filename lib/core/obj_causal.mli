@@ -1,0 +1,35 @@
+(** Causal consistency over sequential-specification objects
+    (Mostéfaoui–Perrin–Raynal): queues and counters as well as
+    registers, the sort of each location declared by its name
+    ({!Sort}).
+
+    Views are per-processor and contain the owner's operations plus
+    every {e update} — all writes and all queue dequeues (a dequeue
+    mutates the queue, so its return value must be consistent in every
+    view, unlike a pure register or counter read).  Each view must be
+    a linear extension of the causal order (program order plus
+    writes-before, transitively) that replays as a legal sequential
+    history of every object.  On register-only histories this model
+    coincides extensionally with causal memory. *)
+
+val view_ops_updates : History.t -> int -> Smem_relation.Bitset.t
+(** Processor [p]'s own operations plus every update of the history
+    (all writes, plus queue dequeues by any processor). *)
+
+val iter_rf : History.t -> f:(Reads_from.t -> bool) -> bool
+(** Enumerate reads-from maps over the {e rf-able} reads only
+    (registers and queues); counter reads are assigned
+    {!History.init} and contribute no writes-before edge.  Same
+    early-stop contract as {!Reads_from.iter}. *)
+
+val object_view_exists :
+  History.t ->
+  ops:Smem_relation.Bitset.t ->
+  order:Smem_relation.Rel.t ->
+  int list option
+(** A linear extension of [order] restricted to [ops] that replays as
+    a legal sequential object history, or [None].  Memoizes failed
+    (placed-set, object-states) pairs, like {!View.exists}.
+    @raise View.Too_large as {!View.exists}. *)
+
+val model : Model.t

@@ -7,7 +7,25 @@ type containment = {
   proper_labels_only : bool;
 }
 
-let model_keys = [ "sc"; "tso"; "pc"; "rc-sc"; "rc-pc"; "causal"; "pram" ]
+let model_keys =
+  [
+    "sc";
+    "tso";
+    "pc";
+    "rc-sc";
+    "rc-pc";
+    "causal";
+    "pram";
+    (* the extended families (PR 10); parameterized keys resolve
+       through the Model_ref grammar *)
+    "pc-g";
+    "pc-part(blocks=2)";
+    "pc-part(blocks=4)";
+    "coh";
+    "session(ryw,mr,mw,wfr)";
+    "session(ryw,mr,mw)";
+    "session(ryw,mr)";
+  ]
 
 let edge ?(proper = false) stronger weaker =
   { stronger; weaker; proper_labels_only = proper }
@@ -21,6 +39,22 @@ let hasse =
     edge "rc-sc" "rc-pc";
     edge "pc" "pram";
     edge "causal" "pram";
+    (* The partition-consistency chain: an SC serialization restricts
+       to per-(processor, block) views; coarser partitions constrain
+       more (a mod-2 block is a union of mod-4 blocks); singleton
+       blocks degenerate to per-location views, i.e. coherence. *)
+    edge "sc" "pc-g";
+    edge "pc-g" "pc-part(blocks=2)";
+    edge "pc-part(blocks=2)" "pc-part(blocks=4)";
+    edge "pc-part(blocks=4)" "coh";
+    edge "pc-g" "pram";
+    edge "pc" "coh";
+    (* The session-guarantee chain: more guarantees is stronger, and
+       PRAM's full program order implies ryw, mr and mw (but not wfr,
+       which quantifies over a reads-from map PRAM never commits to). *)
+    edge "pram" "session(ryw,mr,mw)";
+    edge "session(ryw,mr,mw,wfr)" "session(ryw,mr,mw)";
+    edge "session(ryw,mr,mw)" "session(ryw,mr)";
   ]
 
 (* Transitive closure over two path strengths: a pair holds

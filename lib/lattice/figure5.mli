@@ -23,13 +23,21 @@ type containment = {
 }
 
 val model_keys : string list
-(** The seven models of Figure 5: [sc], [tso], [pc], [rc-sc], [rc-pc],
-    [causal], [pram]. *)
+(** The seven models of Figure 5 — [sc], [tso], [pc], [rc-sc],
+    [rc-pc], [causal], [pram] — plus the extended-family nodes:
+    [pc-g], the partition-consistency chain ([pc-part(blocks=2)],
+    [pc-part(blocks=4)], [coh]) and the session-guarantee chain
+    ([session(ryw,mr,mw,wfr)], [session(ryw,mr,mw)],
+    [session(ryw,mr)]).  Parameterized keys resolve through the
+    {!Smem_core.Model_ref} grammar. *)
 
 val hasse : containment list
 (** The edges of Figure 5 (transitive reduction): SC → TSO, SC → RC_sc
     (properly labeled), TSO → PC, TSO → Causal, RC_sc → RC_pc,
-    PC → PRAM, Causal → PRAM. *)
+    PC → PRAM, Causal → PRAM; extended with
+    SC → PC-G → pc-part(2) → pc-part(4) → coh, PC-G → PRAM, PC → coh,
+    PRAM → session(ryw,mr,mw) → session(ryw,mr) and
+    session(ryw,mr,mw,wfr) → session(ryw,mr,mw). *)
 
 val containments : containment list
 (** The transitive closure of {!hasse}.  A closure pair is

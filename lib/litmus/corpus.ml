@@ -168,6 +168,15 @@ let mp =
         ("rc-sc", a);
         ("rc-pc", a);
         ("wo", a);
+        (* Extended families: with only two locations every nontrivial
+           partition separates the data from the flag, so the per-block
+           views never see the violation; session guarantees without
+           wfr cannot chain the writer's order through the flag read,
+           but monotonic writes plus writes-follow-reads can. *)
+        ("pc-part(blocks=2)", a);
+        ("pc-part(blocks=4)", a);
+        ("session(ryw,mr)", a);
+        ("session(ryw,mr,mw,wfr)", f);
       ]
     [ [ w "x" 1; w "y" 1 ]; [ r "y" 1; r "x" 0 ] ]
 
@@ -496,6 +505,118 @@ let roundtrip =
       ]
     [ [ w "x" 1; r "x" 1 ]; [ r "x" 1 ] ]
 
+(* ------------------------------------------------------------------ *)
+(* The extended families: partition consistency, session guarantees,  *)
+(* and causal consistency over objects.                               *)
+(* ------------------------------------------------------------------ *)
+
+let part_split =
+  Test.make ~name:"part-split"
+    ~doc:
+      "Message passing through z with an unrelated write to y between: \
+       under blocks=2 the locations x and z (interned ids 0 and 2) share \
+       a block, so the per-block view carries the writer's order from \
+       w(x)1 to w(z)1 and forbids the stale read of x; under blocks=4 \
+       they fall in different blocks and the violation hides, as it does \
+       under plain coherence."
+    ~expect:
+      [
+        ("sc", f);
+        ("pc-g", f);
+        ("pc-part(blocks=2)", f);
+        ("pc-part(blocks=4)", a);
+        ("coh", a);
+        ("causal", f);
+        ("pram", f);
+        ("slow", a);
+        ("local", a);
+      ]
+    [ [ w "x" 1; w "y" 1; w "z" 1 ]; [ r "z" 1; r "x" 0 ] ]
+
+let session_ryw =
+  Test.make ~name:"session-ryw"
+    ~doc:
+      "A processor writes and then misses its own write.  Forbidden by \
+       anything preserving own program order per location — and by any \
+       session model with the read-your-writes guarantee; monotonic \
+       reads alone place no order between a write and a later read."
+    ~expect:
+      [
+        ("sc", f);
+        ("coh", f);
+        ("pram", f);
+        ("slow", f);
+        ("local", f);
+        ("session(ryw,mr)", f);
+        ("session(ryw,mr,mw,wfr)", f);
+        ("session(mr)", a);
+      ]
+    [ [ w "x" 1; r "x" 0 ] ]
+
+let session_wfr =
+  Test.make ~name:"session-wfr"
+    ~doc:
+      "Figure 2 reread through session guarantees (with an unrelated \
+       write to z).  Without wfr the observer's view may order w(x)1 \
+       after its stale read; with wfr the committed reads-from map \
+       forces w(x)1 before p1's w(y)1, and monotonic reads close the \
+       cycle through the observer."
+    ~expect:
+      [
+        ("session(mr)", a);
+        ("session(ryw,mr)", a);
+        ("session(mr,wfr)", f);
+        ("session(ryw,mr,mw,wfr)", f);
+        ("causal", f);
+        ("pram", a);
+        ("pc", a);
+      ]
+    [ [ w "x" 1; w "z" 1 ]; [ r "x" 1; w "y" 1 ]; [ r "y" 1; r "x" 0 ] ]
+
+(* Object operations desugar onto sort-tagged locations (Smem_core.Sort):
+   enq/deq are writes/reads on "q:*", inc/rdc on "c:*".  Register models
+   see them as plain accesses; causal-obj replays each view against the
+   object's sequential specification. *)
+
+let queue_fifo =
+  Test.make ~name:"queue-fifo"
+    ~doc:
+      "Two enqueues dequeued in order by another processor: the FIFO \
+       replay succeeds, and as a register history it is sequentially \
+       consistent."
+    ~expect:[ ("causal-obj", a); ("causal", a); ("sc", a) ]
+    [ [ w "q:q" 1; w "q:q" 2 ]; [ r "q:q" 1; r "q:q" 2 ] ]
+
+let queue_skip =
+  Test.make ~name:"queue-skip"
+    ~doc:
+      "The second enqueue dequeued without the first: as a register \
+       history the read simply sees the last write, but no FIFO replay \
+       can return 2 while 1 is still at the head — object causality \
+       forbids what register causality allows."
+    ~expect:[ ("causal-obj", f); ("causal", a); ("sc", a) ]
+    [ [ w "q:q" 1; w "q:q" 2 ]; [ r "q:q" 2 ] ]
+
+let counter_inc =
+  Test.make ~name:"counter-inc"
+    ~doc:
+      "Two increments observed as a count of 2.  No register model can \
+       explain the read (no write carries the value 2); the counter \
+       replay counts both increments."
+    ~expect:
+      [ ("causal-obj", a); ("causal", f); ("sc", f); ("local", f) ]
+    [ [ w "c:c" 1; r "c:c" 2 ]; [ w "c:c" 1 ] ]
+
+let counter_stale =
+  Test.make ~name:"counter-stale"
+    ~doc:
+      "An increment followed by reading a count of zero on the same \
+       processor: program order puts the increment first in every view, \
+       so both the register reading and the counter replay forbid it."
+    ~expect:
+      [ ("causal-obj", f); ("causal", f); ("sc", f); ("local", f) ]
+    [ [ w "c:c" 1; r "c:c" 0 ] ]
+
 let all =
   [
     fig1_tso;
@@ -521,6 +642,13 @@ let all =
     stale_read_rt;
     overlapping_read_rt;
     roundtrip;
+    part_split;
+    session_ryw;
+    session_wfr;
+    queue_fifo;
+    queue_skip;
+    counter_inc;
+    counter_stale;
   ]
 
 let find name = List.find_opt (fun (t : Test.t) -> t.Test.name = name) all

@@ -38,17 +38,28 @@ let int_field lineno what s =
 let parse_event lineno words =
   let base, at =
     match words with
-    | [ op; loc; value ] -> ((op, loc, value), None)
+    | [ op; loc; value ] -> ((op, loc, Some value), None)
     | [ op; loc; value; "@"; s; f ] ->
         let s = int_field lineno "interval start" s
         and f = int_field lineno "interval finish" f in
         if s > f then fail lineno "interval start %d after finish %d" s f;
-        ((op, loc, value), Some (s, f))
+        ((op, loc, Some value), Some (s, f))
+    | [ ("inc" as op); loc ] -> ((op, loc, None), None)
+    | [ ("inc" as op); loc; "@"; s; f ] ->
+        let s = int_field lineno "interval start" s
+        and f = int_field lineno "interval finish" f in
+        if s > f then fail lineno "interval start %d after finish %d" s f;
+        ((op, loc, None), Some (s, f))
     | words -> fail lineno "bad event %S" (String.concat " " words)
   in
-  let op, loc, value = base in
-  let value = int_field lineno "value" value in
+  let op, loc, raw_value = base in
+  let value what =
+    match raw_value with
+    | Some v -> int_field lineno what v
+    | None -> fail lineno "missing %s for %S" what op
+  in
   let event kind labeled =
+    let value = value "value" in
     match kind with
     | `R -> H.read ~labeled ?at loc value
     | `W -> H.write ~labeled ?at loc value
@@ -58,7 +69,25 @@ let parse_event lineno words =
   | "w" -> event `W false
   | "r*" -> event `R true
   | "w*" -> event `W true
-  | _ -> fail lineno "unknown operation %S (expected r, w, r*, w*)" op
+  (* Object operations desugar to reads and writes on sort-tagged
+     locations ("q:" queues, "c:" counters; see Smem_core.Sort). *)
+  | "enq" ->
+      let v = value "enqueued value" in
+      if v = 0 then
+        fail lineno "enq value must be nonzero (0 marks an empty dequeue)";
+      H.write ?at ("q:" ^ loc) v
+  | "deq" ->
+      (* value 0 asserts the queue was observed empty *)
+      H.read ?at ("q:" ^ loc) (value "dequeued value")
+  | "inc" ->
+      (match raw_value with
+      | None -> ()
+      | Some _ -> fail lineno "inc takes no value (counters increment by one)");
+      H.write ?at ("c:" ^ loc) 1
+  | "rdc" -> H.read ?at ("c:" ^ loc) (value "counter value")
+  | _ ->
+      fail lineno
+        "unknown operation %S (expected r, w, r*, w*, enq, deq, inc, rdc)" op
 
 let parse_events lineno rest =
   let text = String.concat " " rest in

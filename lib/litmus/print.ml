@@ -2,14 +2,36 @@ module H = Smem_core.History
 module Op = Smem_core.Op
 
 let event_to_string h (op : Op.t) =
-  let k = match op.Op.kind with Op.Read -> "r" | Op.Write -> "w" in
-  let star = match op.Op.attr with Op.Ordinary -> "" | Op.Labeled -> "*" in
   let timing =
     match H.interval h op.Op.id with
     | Some (s, f) -> Printf.sprintf " @ %d %d" s f
     | None -> ""
   in
-  Printf.sprintf "%s%s %s %d%s" k star (H.loc_name h op.Op.loc) op.Op.value timing
+  let name = H.loc_name h op.Op.loc in
+  let plain () =
+    let k = match op.Op.kind with Op.Read -> "r" | Op.Write -> "w" in
+    let star = match op.Op.attr with Op.Ordinary -> "" | Op.Labeled -> "*" in
+    Printf.sprintf "%s%s %s %d%s" k star name op.Op.value timing
+  in
+  (* Object operations print in their surface form (and re-parse to the
+     same history); labeled object operations have no surface form, so
+     they fall back to the raw tagged-location spelling, which the
+     parser also accepts. *)
+  let base = if String.length name > 2 then String.sub name 2 (String.length name - 2) else "" in
+  match (Smem_core.Sort.of_loc h op.Op.loc, op.Op.attr) with
+  | Smem_core.Sort.Register, _ | _, Op.Labeled -> plain ()
+  | (Smem_core.Sort.Queue | Smem_core.Sort.Counter), _ when base = "" ->
+      plain ()
+  | Smem_core.Sort.Queue, Op.Ordinary ->
+      if Op.is_write op && op.Op.value = 0 then plain ()
+      else
+        let k = match op.Op.kind with Op.Read -> "deq" | Op.Write -> "enq" in
+        Printf.sprintf "%s %s %d%s" k base op.Op.value timing
+  | Smem_core.Sort.Counter, Op.Ordinary -> (
+      match op.Op.kind with
+      | Op.Write when op.Op.value = 1 -> Printf.sprintf "inc %s%s" base timing
+      | Op.Write -> plain ()
+      | Op.Read -> Printf.sprintf "rdc %s %d%s" base op.Op.value timing)
 
 let to_string (t : Test.t) =
   let h = t.Test.history in

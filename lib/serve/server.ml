@@ -9,10 +9,14 @@ let m_parse_errors = Metrics.counter "serve.parse_errors"
 let m_task_failures = Metrics.counter "serve.task_failures"
 
 (* One parsed line: either a request or its in-position bad-request
-   reply.  Arrival numbering is per session (per connection), starting
-   at 1, and only used when the client sent no id of its own. *)
+   reply, tagged with the protocol version the client spoke so the
+   response comes back in the same version.  A line too broken to
+   reveal its version is answered in v1, the lowest common
+   denominator.  Arrival numbering is per session (per connection),
+   starting at 1, and only used when the client sent no id of its
+   own. *)
 type parsed =
-  | Req of int * Smem_api.Request.t
+  | Req of int * Wire.proto * Smem_api.Request.t
   | Bad of int * string
 
 let parse_line next_id line =
@@ -22,9 +26,10 @@ let parse_line next_id line =
   | Error message ->
       Metrics.incr m_parse_errors;
       Bad (arrival, message)
-  | Ok (id, req) -> Req (Option.value id ~default:arrival, req)
+  | Ok (id, proto, req) -> Req (Option.value id ~default:arrival, proto, req)
 
-let id_of_parsed = function Req (id, _) | Bad (id, _) -> id
+let id_of_parsed = function Req (id, _, _) | Bad (id, _) -> id
+let proto_of_parsed = function Req (_, proto, _) -> proto | Bad _ -> Wire.V1
 
 let internal_error id e =
   Metrics.incr m_task_failures;
@@ -39,7 +44,7 @@ let run_parsed service p =
   match p with
   | Bad (id, message) ->
       Response.error ~id ~code:Response.Bad_request message
-  | Req (id, req) -> (
+  | Req (id, _, req) -> (
       try Service.handle ~id service req
       with e -> internal_error id e)
 
@@ -96,7 +101,10 @@ let step ?(batch = 16) ~sched ~solo ~fan { frames; sink; next_id } =
             try Sched.map sched (List.map (fun p () -> run_parsed fan p) many)
             with e -> List.map (fun p -> internal_error (id_of_parsed p) e) many)
       in
-      List.iter (fun resp -> sink.write (Wire.response_line resp)) responses;
+      List.iter2
+        (fun p resp ->
+          sink.write (Wire.response_line ~proto:(proto_of_parsed p) resp))
+        parsed responses;
       sink.flush ();
       true
 

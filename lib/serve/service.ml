@@ -34,11 +34,14 @@ type failure = { code : Response.error_code; message : string }
 
 let ( let* ) = Result.bind
 
+(* Registry.resolve's failure message carries the reason — a grammar
+   parse error, a bad family argument, or an unknown name with a
+   did-you-mean suggestion. *)
 let resolve_model key =
-  match Registry.find key with
-  | Some m -> Ok m
-  | None ->
-      Error { code = Response.Unknown_model; message = "unknown model: " ^ key }
+  match Registry.resolve key with
+  | Ok m -> Ok m
+  | Error reason ->
+      Error { code = Response.Unknown_model; message = reason }
 
 let resolve_models = function
   | [] -> Ok Registry.all
@@ -202,6 +205,32 @@ let certify test model format =
                  body = Smem_cert.Cert.to_string ~format cert;
                }))
 
+(* The model catalogue, from the registry — the single source of truth
+   the CLI table and docs/API.md's model listing are generated from. *)
+let catalogue () =
+  Response.Catalogue
+    {
+      models =
+        List.map
+          (fun (m : Model.t) ->
+            {
+              Response.key = m.Model.key;
+              name = m.Model.name;
+              description = m.Model.description;
+              params = Option.map Model.params_strings m.Model.params;
+            })
+          Registry.all;
+      families =
+        List.map
+          (fun (f : Registry.family_info) ->
+            {
+              Response.family = f.Registry.family;
+              doc = f.Registry.doc;
+              params = f.Registry.params;
+            })
+          Registry.families;
+    }
+
 let execute t = function
   | Request.Check { test; models } ->
       let* test = resolve_test test in
@@ -226,6 +255,7 @@ let execute t = function
       let* model = resolve_model model in
       let* payload = certify test model format in
       Ok ((payload, 0, 1))
+  | Request.Models -> Ok (catalogue (), 0, 0)
 
 (* The view search raises the typed {!Smem_core.View.Too_large} on
    histories past its word-encoding capacity.  Workers re-raise in the

@@ -63,12 +63,22 @@ let sync_needed (p : Model.params) =
 let co_mode (p : Model.params) =
   match p.Model.mutual with
   | Model.Global_write_order -> Co_global
-  | _ ->
-      if
-        p.Model.legality = Model.Writer_legal
-        || p.Model.mutual = Model.Coherence_agreement
-      then Co_per_loc
-      else Co_none
+  | _ -> (
+      match p.Model.ordering with
+      | Model.Session _ ->
+          (* Session views need not agree on any write order — two views
+             may serialize the same writes oppositely.  Enumerating a
+             shared order and propagating its chain into every view
+             graph would refute exactly those legitimate disagreements,
+             so the coherence phase is skipped outright (the leaf check
+             never consults it). *)
+          Co_none
+      | _ ->
+          if
+            p.Model.legality = Model.Writer_legal
+            || p.Model.mutual = Model.Coherence_agreement
+          then Co_per_loc
+          else Co_none)
 
 (* Models whose candidate filter is a *global* acyclicity/irreflexivity
    condition (causal, coherent causal, PC-Goodman) propagate into one
@@ -78,7 +88,10 @@ let global_scope (p : Model.params) =
   match p.Model.ordering with
   | Model.Causal_order | Model.Causal_plus_coherence -> true
   | Model.Program_order ->
-      p.Model.mutual = Model.Coherence_agreement
+      (* PC-G's global acyclic(po ∪ co) check; partition consistency
+         (Per_proc_block) deliberately has no such global condition. *)
+      p.Model.population = Model.Own_plus_writes
+      && p.Model.mutual = Model.Coherence_agreement
       && p.Model.legality = Model.Value_legal
   | _ -> false
 
@@ -120,6 +133,13 @@ let static_order h (p : Model.params) ~proc =
   | Model.Sync_fences ->
       Rel.union (Smem_core.Weak_ordering.fence_edges h) (Orders.po_loc h)
   | Model.Causal_order | Model.Causal_plus_coherence -> Orders.po h
+  | Model.Session { ryw; mr; mw; wfr } ->
+      (* The wfr half depends on the reads-from map; dropping it keeps
+         this an under-approximation of the leaf order, which is all
+         sound pruning needs. *)
+      Smem_core.Session.edges h
+        { Smem_core.Session.ryw; mr; mw; wfr }
+        ~rf:None
 
 type gview = {
   vproc : int;
@@ -150,6 +170,24 @@ let prop_views h (p : Model.params) =
     | Model.Own_plus_writes ->
         Array.init (H.nprocs h) (fun q ->
             make_gview h p ~proc:q ~ops:(H.view_ops_writes h q))
+    | Model.Per_proc_block { blocks } ->
+        let views = ref [] in
+        for q = H.nprocs h - 1 downto 0 do
+          for b = blocks - 1 downto 0 do
+            let ops =
+              Smem_core.Pc_part.view_ops h
+                ~in_block:(fun l -> l mod blocks = b)
+                q
+            in
+            if not (Bitset.is_empty ops) then
+              views := make_gview h p ~proc:q ~ops :: !views
+          done
+        done;
+        Array.of_list !views
+    | Model.Own_plus_updates ->
+        (* Only object-legal models use this population, and those are
+           rejected upfront ({!witness_params}). *)
+        raise Unsupported
 
 (* ------------------------------------------------------------------ *)
 (* Search state                                                        *)
@@ -520,6 +558,69 @@ let leaf_check h (p : Model.params) ~rf ~sync ~co =
           | Some seq -> go (q + 1) ((q, seq) :: acc)
       in
       go 0 []
+  | ( Model.Per_proc_block { blocks },
+      Model.Program_order,
+      Model.Coherence_agreement,
+      Model.Value_legal ) ->
+      (* pc-part(blocks=k); deliberately no global acyclicity check,
+         mirroring Pc_part.witness_with *)
+      let order =
+        Rel.union (Orders.po h) (Coherence.to_rel (coherence_of h co))
+      in
+      let rec go q b acc =
+        if q = H.nprocs h then
+          Some
+            (Witness.per_proc (List.rev acc)
+               ~notes:[ "one view per processor per block" ])
+        else if b = blocks then go (q + 1) 0 acc
+        else
+          let ops =
+            Smem_core.Pc_part.view_ops h
+              ~in_block:(fun l -> l mod blocks = b)
+              q
+          in
+          if Smem_relation.Bitset.is_empty ops then go q (b + 1) acc
+          else
+            match View.exists h ~ops ~order ~legality:View.By_value with
+            | None -> None
+            | Some seq -> go q (b + 1) ((q, seq) :: acc)
+      in
+      go 0 0 []
+  | ( Model.Own_plus_writes,
+      Model.Session { ryw; mr; mw; wfr },
+      Model.No_mutual,
+      legality )
+    when legality = (if wfr then Model.Writer_legal else Model.Value_legal) ->
+      (* session(...) *)
+      let flags = { Smem_core.Session.ryw; mr; mw; wfr } in
+      if wfr then begin
+        let rf = get_rf () in
+        let order = Smem_core.Session.edges h flags ~rf:(Some rf) in
+        if not (Rel.irreflexive order) then None
+        else
+          let rec go q acc =
+            if q = H.nprocs h then Some (List.rev acc)
+            else
+              match
+                View.exists h ~ops:(H.view_ops_writes h q) ~order
+                  ~legality:(View.By_writer rf)
+              with
+              | None -> None
+              | Some seq -> go (q + 1) ((q, seq) :: acc)
+          in
+          Option.map
+            (fun views ->
+              Witness.per_proc
+                ~rf:(Reads_from.pairs h rf)
+                views
+                ~notes:[ "session guarantees incl. writes-follow-reads" ])
+            (go 0 [])
+      end
+      else
+        let order = Smem_core.Session.edges h flags ~rf:None in
+        Option.map
+          (fun views -> Witness.per_proc views ~notes:[])
+          (by_value_views h ~order)
   | ( Model.Own_plus_writes,
       Model.Own_program_order,
       Model.No_mutual,
@@ -836,6 +937,11 @@ let run ctx =
 (* Entry points                                                        *)
 
 let witness_params ?(store : Nogood.t option) (p : Model.params) h =
+  (* Object legality replays sequential object specifications; the
+     propagation graphs and from-read rules here are register-minded
+     (a queue dequeue consumes state, so value-match pruning does not
+     transfer).  Punt to the model's own witness search. *)
+  if p.Model.legality = Model.Object_legal then raise Unsupported;
   let store = match store with Some s -> s | None -> Nogood.create () in
   let views = prop_views h p in
   let ctx =

@@ -40,8 +40,11 @@ def main():
         fail(f"expected {2 * n} responses for two passes, got {len(resps)}")
 
     for i, r in enumerate(resps):
-        if r.get("schema") != "smem-api/1":
-            fail(f"response {i}: bad schema {r.get('schema')!r}")
+        # The server answers in the client's protocol version.
+        want_schema = reqs[i % n].get("schema", "smem-api/1")
+        if r.get("schema") != want_schema:
+            fail(f"response {i}: schema {r.get('schema')!r}, "
+                 f"request spoke {want_schema!r}")
         if not r.get("ok"):
             fail(f"response {i}: not ok: {json.dumps(r.get('payload'))}")
 

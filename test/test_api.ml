@@ -1,6 +1,6 @@
-(* Tests for the typed API layer: verdict semantics and the smem-api/1
-   wire codec (round-trip printer/parser for requests, responses, and
-   verdicts). *)
+(* Tests for the typed API layer: verdict semantics and the wire codec
+   — round-trip printer/parser for requests, responses, and verdicts in
+   both protocol versions, plus smem-api/1 back-compatibility. *)
 
 module Verdict = Smem_api.Verdict
 module Request = Smem_api.Request
@@ -64,33 +64,52 @@ let all_requests =
   in
   [
     Request.Check { test = Named "fig1"; models = [ "sc"; "pc-g" ] };
+    Request.Check
+      {
+        test = Named "mp";
+        models = [ "pc-part(blocks=2)"; "session(ryw,mr)"; "causal-obj" ];
+      };
     Request.Check { test = Inline "test \"t\"\n"; models = [] };
     Request.Corpus { models = [ "cache" ] };
     Request.Corpus { models = [] };
     Request.Classify { models = []; scopes = [] };
     Request.Classify { models = [ "sc"; "pram" ]; scopes = [ scope; lscope ] };
     Request.Distinguish { a = "sc"; b = "pc-g"; scopes = [ scope ] };
-    Request.Distinguish { a = "causal"; b = "pram"; scopes = [] };
+    Request.Distinguish { a = "causal"; b = "session(ryw,mr)"; scopes = [] };
     Request.Certify { test = Named "fig2"; model = "sc"; format = `Sexp };
     Request.Certify { test = Inline "x"; model = "pc-d"; format = `Json };
+    Request.Models;
   ]
 
+let proto_t =
+  Alcotest.testable
+    (fun ppf p -> Format.pp_print_string ppf (Wire.schema_of p))
+    ( = )
+
 let request_roundtrip () =
-  List.iteri
-    (fun i r ->
-      (* with an explicit id *)
-      (match Wire.parse_request_line (Wire.request_line ~id:(i + 1) r) with
-      | Error e -> Alcotest.failf "request %d did not parse back: %s" i e
-      | Ok (id, r') ->
-          check (Alcotest.option Alcotest.int) "id echoed" (Some (i + 1)) id;
-          check Alcotest.bool "request roundtrip" true (r = r'));
-      (* and without *)
-      match Wire.parse_request_line (Wire.request_line r) with
-      | Error e -> Alcotest.failf "id-less request %d: %s" i e
-      | Ok (id, r') ->
-          check (Alcotest.option Alcotest.int) "no id" None id;
-          check Alcotest.bool "id-less roundtrip" true (r = r'))
-    all_requests
+  List.iter
+    (fun proto ->
+      List.iteri
+        (fun i r ->
+          (* with an explicit id *)
+          (match
+             Wire.parse_request_line (Wire.request_line ~proto ~id:(i + 1) r)
+           with
+          | Error e -> Alcotest.failf "request %d did not parse back: %s" i e
+          | Ok (id, proto', r') ->
+              check (Alcotest.option Alcotest.int) "id echoed" (Some (i + 1))
+                id;
+              check proto_t "proto reported" proto proto';
+              check Alcotest.bool "request roundtrip" true (r = r'));
+          (* and without *)
+          match Wire.parse_request_line (Wire.request_line ~proto r) with
+          | Error e -> Alcotest.failf "id-less request %d: %s" i e
+          | Ok (id, proto', r') ->
+              check (Alcotest.option Alcotest.int) "no id" None id;
+              check proto_t "proto reported" proto proto';
+              check Alcotest.bool "id-less roundtrip" true (r = r'))
+        all_requests)
+    [ Wire.V1; Wire.V2 ]
 
 let request_schema_checked () =
   (* a wrong schema value is rejected... *)
@@ -100,11 +119,40 @@ let request_schema_checked () =
    with
   | Ok _ -> Alcotest.fail "wrong schema accepted"
   | Error _ -> ());
-  (* ...but a missing schema field is tolerated *)
+  (* ...a version field disagreeing with the schema is rejected... *)
+  (match
+     Wire.parse_request_line
+       {|{"schema":"smem-api/2","version":1,"kind":"corpus"}|}
+   with
+  | Ok _ -> Alcotest.fail "mismatched version accepted"
+  | Error _ -> ());
+  (* ...but a missing schema field is tolerated and means v1 *)
   match Wire.parse_request_line {|{"kind":"corpus","models":[]}|} with
-  | Ok (None, Request.Corpus { models = [] }) -> ()
+  | Ok (None, Wire.V1, Request.Corpus { models = [] }) -> ()
   | Ok _ -> Alcotest.fail "schema-less request parsed to the wrong value"
   | Error e -> Alcotest.failf "schema-less request rejected: %s" e
+
+(* Hand-written client lines in both versions parse to the same typed
+   request: the v1 plain-string and v2 structured spellings of one
+   model reference are interchangeable, and the structured spelling is
+   normalized through the Model_ref grammar. *)
+let request_versions_agree () =
+  let v1 =
+    {|{"schema":"smem-api/1","kind":"check","test":{"corpus":"mp"},"models":["session(ryw,mr)","sc"]}|}
+  in
+  let v2 =
+    {|{"schema":"smem-api/2","version":2,"kind":"check","test":{"corpus":"mp"},"models":[{"family":"session","args":[{"name":"ryw"},{"name":"mr"}]},{"family":"sc"}]}|}
+  in
+  match (Wire.parse_request_line v1, Wire.parse_request_line v2) with
+  | Ok (None, Wire.V1, r1), Ok (None, Wire.V2, r2) ->
+      check Alcotest.bool "same request" true (r1 = r2);
+      check Alcotest.bool "expected shape" true
+        (r1
+        = Request.Check
+            { test = Named "mp"; models = [ "session(ryw,mr)"; "sc" ] })
+  | Ok _, Ok _ -> Alcotest.fail "wrong id or proto"
+  | Error e, _ -> Alcotest.failf "v1 line rejected: %s" e
+  | _, Error e -> Alcotest.failf "v2 line rejected: %s" e
 
 let request_garbage_rejected () =
   List.iter
@@ -118,6 +166,7 @@ let request_garbage_rejected () =
       {|{"schema":"smem-api/1"}|};
       {|{"schema":"smem-api/1","kind":"launder"}|};
       {|{"schema":"smem-api/1","kind":"check"}|};
+      {|{"schema":"smem-api/2","kind":"check","test":{"corpus":"mp"},"models":[{"args":[]}]}|};
       {|[1,2,3]|};
     ]
 
@@ -159,17 +208,70 @@ let all_responses =
            witnesses = [ ("allowed-by-b-only", "test \"w\"\np0: w(x)1\n") ];
          });
     base "certify" (Response.Certificate { format = "sexp"; body = "(cert)" });
+    base "models"
+      (Response.Catalogue
+         {
+           models =
+             [
+               {
+                 Response.key = "sc";
+                 name = "Sequential Consistency";
+                 description = "one total order";
+                 params =
+                   Some
+                     [
+                       ("population", "shared-all");
+                       ("ordering", "po");
+                       ("mutual", "none");
+                       ("legality", "value");
+                     ];
+               };
+               {
+                 Response.key = "tso-op";
+                 name = "TSO (operational)";
+                 description = "machine replay";
+                 params = None;
+               };
+             ];
+           families =
+             [
+               {
+                 Response.family = "session";
+                 doc = "session guarantees";
+                 params = [ ("ryw", "flag"); ("mr", "flag") ];
+               };
+             ];
+         });
     Response.error ~id:3 ~code:Response.Unknown_model "no such model: zz";
     Response.error ~code:Response.Bad_request "parse error";
   ]
 
 let response_roundtrip () =
-  List.iteri
-    (fun i r ->
-      match Wire.parse_response_line (Wire.response_line r) with
-      | Error e -> Alcotest.failf "response %d did not parse back: %s" i e
-      | Ok r' -> check Alcotest.bool "response roundtrip" true (r = r'))
-    all_responses
+  List.iter
+    (fun proto ->
+      List.iteri
+        (fun i r ->
+          match Wire.parse_response_line (Wire.response_line ~proto r) with
+          | Error e -> Alcotest.failf "response %d did not parse back: %s" i e
+          | Ok r' -> check Alcotest.bool "response roundtrip" true (r = r'))
+        all_responses)
+    [ Wire.V1; Wire.V2 ]
+
+(* A v1 response line has exactly the smem-api/1 shape: the v1 schema
+   tag and no version field.  This is the byte-compatibility seam the
+   server relies on when answering v1 clients. *)
+let response_v1_shape () =
+  let r = List.nth all_responses 0 in
+  let j = Wire.response_to_json ~proto:Wire.V1 r in
+  check Alcotest.bool "v1 schema tag" true
+    (Json.member "schema" j = Some (Json.Str "smem-api/1"));
+  check Alcotest.bool "no version field in v1" true
+    (Json.member "version" j = None);
+  let j2 = Wire.response_to_json ~proto:Wire.V2 r in
+  check Alcotest.bool "v2 schema tag" true
+    (Json.member "schema" j2 = Some (Json.Str "smem-api/2"));
+  check Alcotest.bool "explicit version in v2" true
+    (Json.member "version" j2 = Some (Json.Int 2))
 
 let response_ok () =
   check Alcotest.bool "verdicts ok" true
@@ -215,8 +317,10 @@ let () =
         [
           tc "request roundtrip" request_roundtrip;
           tc "schema checked" request_schema_checked;
+          tc "versions agree" request_versions_agree;
           tc "garbage rejected" request_garbage_rejected;
           tc "response roundtrip" response_roundtrip;
+          tc "v1 byte shape" response_v1_shape;
           tc "response ok" response_ok;
           tc "error codes" error_code_strings;
           tc "ndjson framing" response_lines_are_single_lines;

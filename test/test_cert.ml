@@ -202,6 +202,77 @@ let mutate_forged_forbidden () =
       evidence = Cert.Frontier { rf_maps; co_orders };
     }
 
+(* ---------------- the extended families ---------------- *)
+
+(* Certificates for on-demand family instances — resolved through the
+   reference grammar, not only the catalogued exemplars — must verify,
+   in both verdict polarities. *)
+let new_family_certs () =
+  let mp =
+    match Corpus.find "mp" with
+    | Some t -> t.Test.history
+    | None -> Alcotest.fail "corpus test mp missing"
+  in
+  List.iter
+    (fun key ->
+      let c = certified (model key) mp in
+      check Alcotest.bool (key ^ " allowed on mp") true
+        (c.Cert.verdict = Cert.Allowed);
+      match Kernel.verify c with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: kernel rejected: %s" key e)
+    [ "pc-part(blocks=2)"; "pc-part(blocks=3)"; "session(ryw,mr)" ];
+  (* Forbidden polarity: mp violates writes-follow-reads (the corpus
+     states it), and a lone read of an unwritten overwrite violates
+     read-your-writes. *)
+  let ryw = H.make [ [ H.write "x" 1; H.read "x" 0 ] ] in
+  List.iter
+    (fun (key, h) ->
+      let c = certified (model key) h in
+      check Alcotest.bool (key ^ " forbidden") true
+        (c.Cert.verdict = Cert.Forbidden);
+      match Kernel.verify c with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "forbidden %s cert rejected: %s" key e)
+    [
+      ( "session(ryw,mr,mw,wfr)",
+        (match Corpus.find "mp" with
+        | Some t -> t.Test.history
+        | None -> Alcotest.fail "corpus test mp missing") );
+      ("session(ryw,mr)", ryw);
+      ("pc-part(blocks=2)", ryw);
+    ]
+
+let mutate_pc_part_scope () =
+  (* Only location x exists, so under blocks=2 every operation lives in
+     block 0; smuggling processor 1's read into processor 0's view is a
+     population violation the kernel must notice. *)
+  let c = certified (model "pc-part(blocks=2)") h_stale in
+  check Alcotest.bool "baseline accepted" true
+    (Result.is_ok (Kernel.verify c));
+  let views, _, _, _ = witness_of c in
+  let views =
+    List.map
+      (fun (p, seq) -> if p = 0 then (p, seq @ [ 2 ]) else (p, seq))
+      views
+  in
+  rejected "pc-part scope violation" (with_views c views)
+
+let mutate_session_stale_read () =
+  (* Population- and order-preserving but value-illegal: force the view
+     holding the read (id 2, r x 1) to place it after the overwriting
+     w x 2.  The kernel's legality replay must reject. *)
+  let c = certified (model "session(ryw,mr)") h_stale in
+  check Alcotest.bool "baseline accepted" true
+    (Result.is_ok (Kernel.verify c));
+  let views, _, _, _ = witness_of c in
+  let views =
+    List.map
+      (fun (p, seq) -> if List.mem 2 seq then (p, [ 0; 1; 2 ]) else (p, seq))
+      views
+  in
+  rejected "session stale read" (with_views c views)
+
 (* A forbidden certificate above the re-search cap must be accepted with
    the explicit [Unverified_cap] status — never silently as [Complete] —
    and raising the cap must upgrade it to a full acceptance. *)
@@ -265,6 +336,7 @@ let () =
           tc "operational models are uncertifiable" certify_skips_operational;
           tc "independent search matches the engine" search_matches_engine;
           tc "search cap surfaces Unverified_cap" cap_surfaces_unverified;
+          tc "extended-family instances certify" new_family_certs;
         ] );
       ( "adversarial",
         [
@@ -275,5 +347,7 @@ let () =
           tc "broken coherence" mutate_broken_coherence;
           tc "forged frontier" mutate_forged_frontier;
           tc "forged forbidden verdict" mutate_forged_forbidden;
+          tc "pc-part view-scope violation" mutate_pc_part_scope;
+          tc "session stale read" mutate_session_stale_read;
         ] );
     ]

@@ -52,9 +52,20 @@ let figure5_closure () =
   assert_pair "sc" "rc-pc" true;
   check Alcotest.bool "no pc <= causal" true (find "pc" "causal" = None);
   check Alcotest.bool "no tso <= rc-sc" true (find "tso" "rc-sc" = None);
-  (* sc reaches all six others (two conditionally), tso three, and
-     pc, causal, rc-sc one each *)
-  check Alcotest.int "twelve containments" 12 (List.length Figure5.containments)
+  (* the extended families (PR 10) *)
+  assert_pair "sc" "pc-part(blocks=4)" false;
+  assert_pair "pc-g" "coh" false;
+  assert_pair "pc" "coh" false;
+  assert_pair "tso" "session(ryw,mr)" false;
+  assert_pair "session(ryw,mr,mw,wfr)" "session(ryw,mr)" false;
+  check Alcotest.bool "no causal <= session chain via wfr" true
+    (find "causal" "session(ryw,mr,mw,wfr)" = None);
+  check Alcotest.bool "no pram <= session(+wfr)" true
+    (find "pram" "session(ryw,mr,mw,wfr)" = None);
+  check Alcotest.bool "no tso <= pc-g" true (find "tso" "pc-g" = None);
+  (* sc reaches all thirteen others (two conditionally); forty pairs
+     in total across the fourteen-node lattice *)
+  check Alcotest.int "forty containments" 40 (List.length Figure5.containments)
 
 let figure5_properly_labeled () =
   let proper =

@@ -144,6 +144,70 @@ let roundtrip_preserves_labels () =
     (List.length
        (List.filter (fun a -> a = Op.Labeled) (attrs t'.Test.history)))
 
+(* Object operations: the DSL's enq/deq/inc/rdc forms map onto sorted
+   locations ("q:" queues, "c:" counters) and survive the print/parse
+   chain; ill-typed forms are rejected with positioned errors. *)
+let object_ops_parse () =
+  let t =
+    parse_ok
+      "test objects \"queue and counter ops\"\n\
+       p0: enq q 1 ; inc c ; rdc c 2\n\
+       p1: deq q 1 ; deq q 0 ; inc c\n\
+       expect causal-obj allowed\n"
+  in
+  let h = t.Test.history in
+  let names =
+    List.init (H.nops h) (fun id -> H.loc_name h (H.op h id).Op.loc)
+  in
+  check
+    Alcotest.(list string)
+    "sorted location names"
+    [ "q:q"; "c:c"; "c:c"; "q:q"; "q:q"; "c:c" ]
+    names;
+  let op id = H.op h id in
+  check Alcotest.bool "enq is a write of 1" true
+    ((op 0).Op.kind = Op.Write && (op 0).Op.value = 1);
+  check Alcotest.bool "inc writes 1" true
+    ((op 1).Op.kind = Op.Write && (op 1).Op.value = 1);
+  check Alcotest.bool "rdc reads the stated value" true
+    ((op 2).Op.kind = Op.Read && (op 2).Op.value = 2);
+  check Alcotest.bool "deq of 0 is an empty dequeue" true
+    ((op 4).Op.kind = Op.Read && (op 4).Op.value = 0)
+
+let object_ops_roundtrip () =
+  let h =
+    H.make
+      [
+        [ H.write "q:q" 1; H.write "c:c" 1; H.read "c:c" 2 ];
+        [ H.read "q:q" 1; H.read "q:q" 0 ];
+      ]
+  in
+  let t =
+    Test.of_history ~name:"objects" ~expect:[ ("causal-obj", Test.Allowed) ] h
+  in
+  let printed = Print.to_string t in
+  let contains needle =
+    let nl = String.length needle and pl = String.length printed in
+    let rec go i = i + nl <= pl && (String.sub printed i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "prints the object forms" true
+    (List.for_all contains
+       [ "enq q 1"; "inc c"; "rdc c 2"; "deq q 1"; "deq q 0" ]);
+  let t' = parse_ok printed in
+  check Alcotest.bool "history round-trips" true
+    (histories_equal h t'.Test.history)
+
+let object_ops_rejected () =
+  let rejected src =
+    match Parse.test_of_string src with
+    | Ok _ -> Alcotest.failf "accepted ill-typed %S" src
+    | Error _ -> ()
+  in
+  rejected "test bad \"b\"\np0: enq q 0\n";
+  rejected "test bad \"b\"\np0: inc c 2\n";
+  rejected "test bad \"b\"\np0: enq q\n"
+
 (* ---------------- corpus sanity ---------------- *)
 
 let corpus_names_unique () =
@@ -286,11 +350,14 @@ let () =
           tc "comments and blank lines" parse_comments_and_blanks;
           tc "multiple tests" parse_multiple;
           tc "errors carry line numbers" parse_errors;
+          tc "object operations" object_ops_parse;
+          tc "ill-typed object operations rejected" object_ops_rejected;
         ] );
       ( "round-trip",
         [
           tc "whole corpus" roundtrip_corpus;
           tc "labels preserved" roundtrip_preserves_labels;
+          tc "object operations" object_ops_roundtrip;
           QCheck_alcotest.to_alcotest prop_roundtrip_random;
         ] );
       ( "corpus",

@@ -162,6 +162,44 @@ let containment_props =
       ~labeled:`Mixed ();
     containment ~name:"TSO ⊆ TSO-operational" "tso" "tso-op" ~labeled:`No ();
     containment ~name:"SC ⊆ WO (mixed labels)" "sc" "wo" ~labeled:`Mixed ();
+    (* The extended families: partition consistency sits between PC-G
+       and coherence (finer partitions are weaker), the session
+       guarantees weaken monotonically as flags are dropped, and PRAM
+       implies the three same-session guarantees. *)
+    containment ~name:"PC-G ⊆ PC-part(2)" "pc-g" "pc-part(blocks=2)"
+      ~labeled:`No ();
+    containment ~nlocs:3 ~name:"PC-part(2) ⊆ PC-part(4)" "pc-part(blocks=2)"
+      "pc-part(blocks=4)" ~labeled:`No ();
+    containment ~name:"PC-part(4) ⊆ Coherence" "pc-part(blocks=4)" "coh"
+      ~labeled:`No ();
+    containment ~name:"PRAM ⊆ Session(ryw,mr,mw)" "pram" "session(ryw,mr,mw)"
+      ~labeled:`No ();
+    containment ~name:"SC ⊆ Session(ryw,mr,mw,wfr)" "sc"
+      "session(ryw,mr,mw,wfr)" ~labeled:`No ();
+    containment ~name:"Session(ryw,mr,mw,wfr) ⊆ Session(ryw,mr,mw)"
+      "session(ryw,mr,mw,wfr)" "session(ryw,mr,mw)" ~labeled:`No ();
+    containment ~name:"Session(ryw,mr,mw) ⊆ Session(ryw,mr)"
+      "session(ryw,mr,mw)" "session(ryw,mr)" ~labeled:`No ();
+  ]
+
+(* The family extremes collapse onto catalogued models, extensionally:
+   one partition block is PC-G (the global acyclicity pre-check PC-G
+   also runs is redundant there), singleton blocks are coherence, and
+   object-causal over register-only histories — the generator emits no
+   queue or counter operations — is exactly causal. *)
+let family_extremes_props =
+  let equiv ~name a b arb =
+    QCheck.Test.make ~name ~count:150 arb (fun h ->
+        Model.check (model a) h = Model.check (model b) h)
+  in
+  [
+    equiv ~name:"PC-part(1) = PC-G" "pc-part(blocks=1)" "pc-g"
+      (Helpers.arb_history ());
+    equiv ~name:"PC-part(64) = Coherence (singleton blocks)"
+      "pc-part(blocks=64)" "coh"
+      (Helpers.arb_history ~nlocs:3 ());
+    equiv ~name:"Causal-obj = Causal on register histories" "causal-obj"
+      "causal" (Helpers.arb_history ());
   ]
 
 (* PRAM witnesses are always population-correct, legal, po-respecting. *)
@@ -329,7 +367,7 @@ let () =
         ] );
       ( "containment properties",
         List.map QCheck_alcotest.to_alcotest
-          (containment_props
+          (containment_props @ family_extremes_props
           @ [
               prop_pram_witness;
               prop_sc_witness;

@@ -269,6 +269,30 @@ let service_errors () =
     ((Service.handle ~id:9 s (Request.Corpus { models = [ "sc" ] })).Response.id
     = Some 9)
 
+let service_models_catalogue () =
+  (* The catalogue request lists every catalogued model with its
+     parameter quadruple and every on-demand family — the single source
+     the CLI table and docs/API.md's model listing are generated from. *)
+  let s = Service.create () in
+  match (Service.handle s Request.Models).Response.payload with
+  | Response.Catalogue { models; families } ->
+      check Alcotest.int "every catalogued model listed"
+        (List.length Registry.all) (List.length models);
+      check Alcotest.bool "sc is present with params" true
+        (List.exists
+           (fun (m : Response.model_info) ->
+             m.Response.key = "sc" && m.Response.params <> None)
+           models);
+      let family_names =
+        List.map (fun (f : Response.family_info) -> f.Response.family) families
+      in
+      List.iter
+        (fun f ->
+          check Alcotest.bool (f ^ " family listed") true
+            (List.mem f family_names))
+        [ "pc-part"; "session" ]
+  | _ -> Alcotest.fail "models request did not answer a catalogue"
+
 (* A history at the view search's word-encoding boundary must come back
    as a structured [Too_large] error, not crash the daemon (the search
    raises the typed {!Smem_core.View.Too_large} and the service catches
@@ -519,6 +543,51 @@ let server_malformed_frame_mid_stream () =
         r3.Response.id;
       check Alcotest.bool "third ok" true (Response.ok r3))
 
+let server_answers_in_kind () =
+  (* The smem-api/1 back-compatibility contract: a v1 client of a v2
+     server gets v1 response lines — the legacy schema string, no
+     [version] field — with the same verdicts a v2 client sees. *)
+  let module Json = Smem_obs.Json in
+  with_server (fun fd ->
+      write_fd fd
+        ("{\"schema\":\"smem-api/1\",\"id\":1,\"kind\":\"check\","
+        ^ "\"test\":{\"corpus\":\"mp\"},"
+        ^ "\"models\":[\"sc\",\"session(ryw,mr)\"]}\n");
+      let v1_line = read_line_fd fd in
+      let v1_json = Json.of_string v1_line |> Result.get_ok in
+      check (Alcotest.option Alcotest.string) "v1 schema echoed"
+        (Some Wire.schema_v1)
+        (match Json.member "schema" v1_json with
+        | Some (Json.Str s) -> Some s
+        | _ -> None);
+      check Alcotest.bool "no version field in a v1 reply" true
+        (Json.member "version" v1_json = None);
+      write_fd fd
+        (Wire.request_line ~proto:Wire.V2 ~id:2
+           (Request.Check
+              { test = Named "mp"; models = [ "sc"; "session(ryw,mr)" ] }));
+      let v2_line = read_line_fd fd in
+      let v2_json = Json.of_string v2_line |> Result.get_ok in
+      check (Alcotest.option Alcotest.string) "v2 schema echoed"
+        (Some Wire.schema)
+        (match Json.member "schema" v2_json with
+        | Some (Json.Str s) -> Some s
+        | _ -> None);
+      check Alcotest.bool "version field in a v2 reply" true
+        (Json.member "version" v2_json = Some (Json.Int Wire.version));
+      let verdicts_of line =
+        let r = response_of_line line in
+        match r.Response.payload with
+        | Response.Verdicts vs ->
+            List.map
+              (fun (v : Verdict.t) ->
+                (v.Verdict.subject, v.Verdict.authority, v.Verdict.status))
+              vs
+        | _ -> Alcotest.fail "expected verdicts"
+      in
+      check Alcotest.bool "v1 and v2 clients see the same verdicts" true
+        (verdicts_of v1_line = verdicts_of v2_line))
+
 (* ---------------- frames ---------------- *)
 
 let frames_drain_without_blocking () =
@@ -725,6 +794,7 @@ let () =
       ( "service",
         tc "corpus twice: warm pass cached, verdicts stable" corpus_twice
         :: tc "structured errors" service_errors
+        :: tc "models request answers the catalogue" service_models_catalogue
         :: tc "view-search boundary answers Too_large"
              service_too_large_boundary
         :: List.map QCheck_alcotest.to_alcotest
@@ -736,6 +806,8 @@ let () =
           tc "second pass all cached" server_second_pass_all_cached;
           tc "partial batch answered without waiting" server_partial_batch;
           tc "malformed frame mid-stream" server_malformed_frame_mid_stream;
+          tc "v1 client of a v2 server answered in kind"
+            server_answers_in_kind;
         ] );
       ( "frames",
         [ tc "drain takes only what is available" frames_drain_without_blocking ]
